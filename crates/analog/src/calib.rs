@@ -1,0 +1,121 @@
+//! Calibrated model constants.
+//!
+//! The paper extracts its behavioral-model parameters from Cadence Spectre
+//! simulations of IBM 0.18 µm circuits; we do not have Spectre, so the
+//! absolute constants here are *calibrated to the paper's published anchor
+//! numbers* while every functional dependence (on SNR, capacitance, bit
+//! depth, op counts) follows the published physics. The anchors:
+//!
+//! | Anchor | Paper value | Where |
+//! |---|---|---|
+//! | Depth5 analog energy @ 40 dB, 4-bit | 1.4 mJ/frame | Table I |
+//! | Depth5 energy @ 50 / 60 dB | 14 / 140 mJ | Table I |
+//! | Depth1 processing+quantization | 170 µJ/frame | §V-B |
+//! | Depth5 RedEye frame time | 32 ms | §V-B |
+//! | Damping capacitance @ 40/50/60 dB | 10 fF / 100 fF / 1 pF | Table I |
+//! | Controller (Cortex-M0+) | 47.4 µW/MHz, 250 MHz | §V-D |
+//!
+//! With GoogLeNet's Depth5 prefix at ≈1.09 G MACs (our exact geometry), the
+//! Table I anchor gives `E_MAC(40 dB) ≈ 1.4 mJ / 1.09 G ≈ 1.28 pJ`, which
+//! also reproduces the Depth1 anchor to within ~10%.
+
+use crate::{Farads, Joules, Seconds, SnrDb, Volts};
+
+/// Boltzmann constant (J/K).
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Nominal junction temperature (K) for kT/C noise (27 °C, the TT corner).
+pub const NOMINAL_TEMPERATURE: f64 = 300.15;
+
+/// Analog supply / reference voltage of the 0.18 µm design (V). A 1.8 V
+/// supply with a ±0.9 V signal swing about mid-rail.
+pub const SUPPLY: Volts = Volts::new(1.8);
+
+/// Maximum signal swing amplitude (V): signals live in `[-SWING, +SWING]`.
+pub const SWING: Volts = Volts::new(0.9);
+
+/// Unit capacitor `C0` of the charge-sharing weight DAC and the SAR array.
+/// The paper notes `C0` "cannot shrink further due to process constraints";
+/// 1 fF is a representative 0.18 µm MIM unit.
+pub const UNIT_CAP: Farads = Farads::from_femto(1.0);
+
+/// Damping capacitance at the 40 dB reference point (Table I).
+pub const DAMPING_CAP_40DB: Farads = Farads::from_femto(10.0);
+
+/// Reference SNR at which all energy constants are quoted.
+pub const REFERENCE_SNR: SnrDb = SnrDb::new(40.0);
+
+/// Energy of one analog multiply–accumulate at the 40 dB reference point.
+/// Calibrated so GoogLeNet Depth5 (≈1.09 G MACs) lands on Table I's 1.4 mJ.
+pub const MAC_ENERGY_40DB: Joules = Joules::from_pico(1.28);
+
+/// Energy of one dynamic-comparator decision (max pooling). The comparator
+/// is fully dynamic with zero idle power (§IV-A); per-decision energy is a
+/// few tens of femtojoules in 0.18 µm.
+pub const COMPARATOR_ENERGY: Joules = Joules::from_femto(50.0);
+
+/// Energy to write one analog memory cell (buffer module) at 40 dB:
+/// `½·C·V²` on the damping-sized storage cap plus switch drive.
+pub const MEMORY_WRITE_ENERGY_40DB: Joules = Joules::from_femto(20.0);
+
+/// SAR ADC energy per conversion step of the *capacitor array*: the total
+/// array energy per conversion is `SAR_ARRAY_STEP_ENERGY × 2^n` (array size
+/// `C_Σ = 2^n·C0` charged to the reference each conversion).
+pub const SAR_ARRAY_STEP_ENERGY: Joules = Joules::from_femto(35.0);
+
+/// SAR comparator + logic energy per resolved bit.
+pub const SAR_BIT_LOGIC_ENERGY: Joules = Joules::from_femto(50.0);
+
+/// Settling time of one MAC charge-transfer at the 40 dB damping point.
+/// Calibrated so the Depth5 column-parallel frame time lands on 32 ms.
+pub const MAC_SETTLE_TIME_40DB: Seconds = Seconds::from_nano(6.5);
+
+/// Comparator decision time (nominal, far from metastability).
+pub const COMPARATOR_DECISION_TIME: Seconds = Seconds::from_nano(2.0);
+
+/// SAR time per resolved bit.
+pub const SAR_BIT_TIME: Seconds = Seconds::from_nano(4.0);
+
+/// Number of column slices (one per sensor column at the paper's 227×227
+/// resolution).
+pub const COLUMN_COUNT: usize = 227;
+
+/// On-chip controller power density (Cortex-M0+ in 0.18 µm, §V-D).
+pub const CONTROLLER_UW_PER_MHZ: f64 = 47.4;
+
+/// Controller clock for 30-fps operation (§V-D).
+pub const CONTROLLER_CLOCK_MHZ: f64 = 250.0;
+
+/// Capacitor mismatch coefficient: the standard deviation of a unit
+/// capacitor's relative error is `MISMATCH_COEFF / sqrt(C/1fF)` (Pelgrom
+/// scaling — matching improves with area, hence the linearity–energy
+/// tradeoff of §II-B).
+pub const MISMATCH_COEFF: f64 = 0.002;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ktc_noise_at_10ff_supports_40db() {
+        // kT/C at 10 fF: V̄n = sqrt(kT/C) ≈ 0.64 mV.  Signal RMS for a
+        // full-swing sinusoid is 0.9/√2 ≈ 0.64 V → SNR ≈ 60 dB for a single
+        // sample; accumulated over a ~100-tap kernel the budget degrades by
+        // ~20 dB, which is what makes 40 dB the natural operating floor.
+        let vn = (BOLTZMANN * NOMINAL_TEMPERATURE / DAMPING_CAP_40DB.value()).sqrt();
+        assert!((5e-4..8e-4).contains(&vn), "vn = {vn}");
+    }
+
+    #[test]
+    fn controller_power_matches_paper() {
+        // §V-D: ≈12 mW at 250 MHz.
+        let mw = CONTROLLER_UW_PER_MHZ * CONTROLLER_CLOCK_MHZ / 1000.0;
+        assert!((11.0..13.0).contains(&mw), "controller {mw} mW");
+    }
+
+    #[test]
+    fn sar_energy_doubles_per_bit() {
+        let e = |n: u32| SAR_ARRAY_STEP_ENERGY.value() * 2f64.powi(n as i32);
+        assert!((e(10) / e(9) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,114 @@
+//! The programmable noise-damping mechanism (§III-C, Table I).
+//!
+//! RedEye trades signal fidelity for energy by varying the capacitance of a
+//! damping circuit at each convolutional module's output. Because thermal
+//! noise power is `kT/C` while the energy to charge the node is `∝ C`, each
+//! +10 dB of SNR costs 10× capacitance and therefore 10× energy:
+//!
+//! | Mode | SNR | Capacitance | Energy scale |
+//! |---|---|---|---|
+//! | High-efficiency | 40 dB | 10 fF | 1× |
+//! | Moderate | 50 dB | 100 fF | 10× |
+//! | High-fidelity | 60 dB | 1 pF | 100× |
+
+use crate::calib::{DAMPING_CAP_40DB, REFERENCE_SNR};
+use crate::{ktc_noise_voltage, Farads, SnrDb, Volts};
+use serde::{Deserialize, Serialize};
+
+/// A runtime noise-damping configuration: the tunable capacitance that sets a
+/// module's SNR and energy scale.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DampingConfig {
+    snr: SnrDb,
+}
+
+impl DampingConfig {
+    /// Configures damping for a target SNR.
+    pub fn from_snr(snr: SnrDb) -> Self {
+        DampingConfig { snr }
+    }
+
+    /// The paper's high-efficiency operating point (40 dB).
+    pub fn high_efficiency() -> Self {
+        DampingConfig::from_snr(SnrDb::new(40.0))
+    }
+
+    /// The paper's moderate operating point (50 dB).
+    pub fn moderate() -> Self {
+        DampingConfig::from_snr(SnrDb::new(50.0))
+    }
+
+    /// The paper's high-fidelity operating point (60 dB).
+    pub fn high_fidelity() -> Self {
+        DampingConfig::from_snr(SnrDb::new(60.0))
+    }
+
+    /// The configured SNR.
+    pub fn snr(&self) -> SnrDb {
+        self.snr
+    }
+
+    /// The damping capacitance realizing this SNR:
+    /// `C(snr) = C40 · 10^((snr − 40 dB)/10)`.
+    pub fn capacitance(&self) -> Farads {
+        DAMPING_CAP_40DB * 10f64.powf((self.snr - REFERENCE_SNR) / 10.0)
+    }
+
+    /// Energy multiplier relative to the 40 dB reference (`E ∝ C`).
+    pub fn energy_scale(&self) -> f64 {
+        self.capacitance() / DAMPING_CAP_40DB
+    }
+
+    /// RMS thermal noise voltage of the damped node.
+    pub fn noise_rms(&self) -> Volts {
+        ktc_noise_voltage(self.capacitance())
+    }
+}
+
+impl Default for DampingConfig {
+    /// Defaults to the high-efficiency (40 dB) mode the paper recommends.
+    fn default() -> Self {
+        DampingConfig::high_efficiency()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_capacitances() {
+        // Table I: 40 dB → 10 fF, 50 dB → 100 fF, 60 dB → 1 pF.
+        let within = |c: Farads, ff: f64| (c.value() / (ff * 1e-15) - 1.0).abs() < 1e-9;
+        assert!(within(DampingConfig::high_efficiency().capacitance(), 10.0));
+        assert!(within(DampingConfig::moderate().capacitance(), 100.0));
+        assert!(within(DampingConfig::high_fidelity().capacitance(), 1000.0));
+    }
+
+    #[test]
+    fn table_one_energy_scales() {
+        assert!((DampingConfig::high_efficiency().energy_scale() - 1.0).abs() < 1e-9);
+        assert!((DampingConfig::moderate().energy_scale() - 10.0).abs() < 1e-9);
+        assert!((DampingConfig::high_fidelity().energy_scale() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noise_drops_as_snr_rises() {
+        let lo = DampingConfig::from_snr(SnrDb::new(40.0)).noise_rms();
+        let hi = DampingConfig::from_snr(SnrDb::new(60.0)).noise_rms();
+        assert!((lo.value() / hi.value() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_is_high_efficiency() {
+        assert_eq!(DampingConfig::default(), DampingConfig::high_efficiency());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = DampingConfig::from_snr(SnrDb::new(47.0));
+        let json = serde_json::to_string(&d).unwrap();
+        let back: DampingConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+    }
+}

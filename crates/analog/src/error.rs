@@ -1,0 +1,63 @@
+//! Error type for the analog behavioral models.
+
+use std::fmt;
+
+/// Error returned by analog circuit model constructors and operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalogError {
+    /// A configuration parameter was outside its physical/design range.
+    OutOfRange {
+        /// Parameter name.
+        parameter: &'static str,
+        /// Offending value (as text, so integers and floats both fit).
+        value: String,
+        /// Allowed range description.
+        allowed: &'static str,
+    },
+    /// A signal exceeded the representable swing and the model was asked to
+    /// treat that as an error rather than clip.
+    SignalOutOfSwing {
+        /// The offending signal value in volts.
+        value: f64,
+        /// The positive swing limit in volts.
+        swing: f64,
+    },
+}
+
+impl fmt::Display for AnalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalogError::OutOfRange {
+                parameter,
+                value,
+                allowed,
+            } => write!(f, "{parameter} = {value} outside allowed range {allowed}"),
+            AnalogError::SignalOutOfSwing { value, swing } => {
+                write!(f, "signal {value} V exceeds ±{swing} V swing")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalogError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_parameter() {
+        let e = AnalogError::OutOfRange {
+            parameter: "resolution",
+            value: "12".into(),
+            allowed: "1..=10",
+        };
+        assert!(e.to_string().contains("resolution"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AnalogError>();
+    }
+}

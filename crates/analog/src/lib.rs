@@ -1,0 +1,62 @@
+//! Behavioral analog circuit models for the RedEye architecture.
+//!
+//! The RedEye paper characterizes its circuits (mixed-signal MAC, dynamic
+//! comparator, SAR ADC) with Cadence Spectre at transistor level, then drives
+//! its system simulation from a *behavioral model* parameterized by noise,
+//! power, and timing numbers (§IV-B). This crate is that behavioral model,
+//! implemented from the published physics:
+//!
+//! - sampling (kT/C) thermal noise, `V̄n² = kT/C` (§II-B);
+//! - the energy–noise tradeoff `E ∝ C ∝ 1/V̄n²`, realized by the
+//!   noise-damping capacitance (§III-C, Table I);
+//! - the 8-bit charge-sharing tunable capacitor that reduces MAC sampling
+//!   capacitors from `O(2^n)` to `O(n)` (§IV-A, Fig. 5);
+//! - a bit-accurate SAR ADC with capacitor mismatch and MSB-cutting variable
+//!   resolution (§IV-A);
+//! - a dynamic comparator with metastability-forced decisions (§IV-A);
+//! - process-corner scaling of the extracted parameters (§IV-B).
+//!
+//! Absolute constants are calibrated to the paper's published anchors (e.g.
+//! 1.4 mJ per Depth5 frame at 40 dB); see [`calib`].
+//!
+//! # Example
+//!
+//! ```
+//! use redeye_analog::{DampingConfig, SnrDb};
+//!
+//! // Table I: 40 dB → 10 fF → 1×, 50 dB → 100 fF → 10× energy.
+//! let hi_eff = DampingConfig::from_snr(SnrDb::new(40.0));
+//! let moderate = DampingConfig::from_snr(SnrDb::new(50.0));
+//! assert!((moderate.energy_scale() / hi_eff.energy_scale() - 10.0).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calib;
+mod comparator;
+mod corners;
+mod damping;
+mod error;
+mod mac;
+mod noise;
+mod opamp;
+mod sample_hold;
+mod sar;
+mod tunable_cap;
+mod units;
+
+pub use comparator::{Comparator, ComparatorDecision};
+pub use corners::ProcessCorner;
+pub use damping::DampingConfig;
+pub use error::AnalogError;
+pub use mac::{Mac, MacConfig};
+pub use noise::{cumulative_snr, ktc_noise_voltage, snr_from_powers, NoiseBudget};
+pub use opamp::OpAmp;
+pub use sample_hold::SampleHold;
+pub use sar::{SarAdc, SarConversion};
+pub use tunable_cap::TunableCap;
+pub use units::{Farads, Joules, Seconds, SnrDb, Volts, Watts};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, AnalogError>;

@@ -1,0 +1,250 @@
+//! The mixed-signal multiply–accumulate unit (§IV-A, Fig. 4).
+//!
+//! The MAC multiplies analog channel samples by digital kernel weights
+//! through [`crate::TunableCap`]s and accumulates the products on a feedback
+//! capacitor, clipping at maximum signal swing (which is how RedEye realizes
+//! rectification). Its output node carries the programmable damping
+//! capacitance, so its noise and energy follow the [`crate::DampingConfig`]
+//! operating point.
+
+use crate::calib::{MAC_ENERGY_40DB, MAC_SETTLE_TIME_40DB, SWING};
+use crate::{AnalogError, DampingConfig, Joules, Result, Seconds, TunableCap};
+use redeye_tensor::Rng;
+
+/// Configuration of a MAC instance.
+#[derive(Debug, Clone)]
+pub struct MacConfig {
+    /// Weight resolution in bits (the paper uses 8).
+    pub weight_bits: u32,
+    /// Noise-damping operating point.
+    pub damping: DampingConfig,
+    /// Whether to model static capacitor mismatch in the weight DAC.
+    pub model_mismatch: bool,
+}
+
+impl Default for MacConfig {
+    fn default() -> Self {
+        MacConfig {
+            weight_bits: 8,
+            damping: DampingConfig::high_efficiency(),
+            model_mismatch: false,
+        }
+    }
+}
+
+/// Behavioral model of the mixed-signal MAC.
+#[derive(Debug, Clone)]
+pub struct Mac {
+    config: MacConfig,
+    dac: TunableCap,
+    energy: Joules,
+    ops: u64,
+}
+
+impl Mac {
+    /// Creates a MAC with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::OutOfRange`] for an unsupported weight width.
+    pub fn new(config: MacConfig, rng: &mut Rng) -> Result<Self> {
+        let dac = if config.model_mismatch {
+            TunableCap::with_mismatch(config.weight_bits, rng)?
+        } else {
+            TunableCap::new(config.weight_bits)?
+        };
+        Ok(Mac {
+            config,
+            dac,
+            energy: Joules::zero(),
+            ops: 0,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MacConfig {
+        &self.config
+    }
+
+    /// Per-operation energy at the configured damping point.
+    pub fn energy_per_op(&self) -> Joules {
+        MAC_ENERGY_40DB * self.config.damping.energy_scale()
+    }
+
+    /// Per-operation settling time at the configured damping point.
+    ///
+    /// Settling time grows with load capacitance when op-amp bias is held
+    /// constant; RedEye instead scales bias with the damping cap, keeping
+    /// settle time constant, so timing is independent of the SNR setting
+    /// (the paper's Fig. 7b shows per-depth timing at the fixed 40 dB point).
+    pub fn settle_time_per_op(&self) -> Seconds {
+        MAC_SETTLE_TIME_40DB
+    }
+
+    /// Multiplies each input by its signed weight code and accumulates,
+    /// injecting one damped-node thermal noise sample and clipping at
+    /// ±swing.
+    ///
+    /// `codes[i]` is a signed fixed-point weight in
+    /// `[-(2^(bits-1)-1), 2^(bits-1)-1]`; the sign is applied by polarity
+    /// swap (free in the differential circuit) and the magnitude through the
+    /// weight DAC, so the effective multiplier is `code / 2^(bits-1)`.
+    ///
+    /// Returns the accumulated (noisy, clipped) value in volts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::OutOfRange`] if slices disagree in length or a
+    /// code magnitude exceeds the DAC range.
+    pub fn multiply_accumulate(
+        &mut self,
+        inputs: &[f64],
+        codes: &[i32],
+        rng: &mut Rng,
+    ) -> Result<f64> {
+        if inputs.len() != codes.len() {
+            return Err(AnalogError::OutOfRange {
+                parameter: "codes length",
+                value: format!("{} (inputs {})", codes.len(), inputs.len()),
+                allowed: "equal to inputs length",
+            });
+        }
+        let half_scale = 2f64.powi(self.config.weight_bits as i32 - 1);
+        let mut acc = 0.0f64;
+        for (&v, &code) in inputs.iter().zip(codes) {
+            let magnitude = code.unsigned_abs();
+            // The DAC's full scale is 2^bits, so apply() yields v·mag/2^bits;
+            // rescale so the effective signed multiplier is code/2^(bits−1).
+            let weighted = self.dac.apply(v, magnitude)?
+                * 2f64.powi(self.config.weight_bits as i32)
+                / half_scale;
+            acc += if code < 0 { -weighted } else { weighted };
+        }
+        // One thermal noise sample from the damped output node.
+        acc += f64::from(rng.standard_normal()) * self.config.damping.noise_rms().value();
+        // Clip at maximum swing (the rectification mechanism clips the
+        // positive rail too; the negative rail realizes ReLU when the
+        // executor maps zero to the lower rail).
+        let swing = SWING.value();
+        acc = acc.clamp(-swing, swing);
+        self.energy += self.energy_per_op() * inputs.len() as f64;
+        self.ops += inputs.len() as u64;
+        Ok(acc)
+    }
+
+    /// Total energy consumed since construction.
+    pub fn energy_consumed(&self) -> Joules {
+        self.energy
+    }
+
+    /// Total multiply–accumulate operations performed.
+    pub fn ops_performed(&self) -> u64 {
+        self.ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SnrDb;
+
+    fn quiet_mac() -> (Mac, Rng) {
+        // 120 dB damping: noise negligible for exactness tests.
+        let mut rng = Rng::seed_from(3);
+        let mac = Mac::new(
+            MacConfig {
+                weight_bits: 8,
+                damping: DampingConfig::from_snr(SnrDb::new(120.0)),
+                model_mismatch: false,
+            },
+            &mut rng,
+        )
+        .unwrap();
+        (mac, rng)
+    }
+
+    #[test]
+    fn dot_product_matches_fixed_point_ideal() {
+        let (mut mac, mut rng) = quiet_mac();
+        let inputs = [0.1, -0.2, 0.3];
+        let codes = [64i32, -127, 32]; // weights 0.5, -0.9921875, 0.25
+        let got = mac.multiply_accumulate(&inputs, &codes, &mut rng).unwrap();
+        let want: f64 = inputs
+            .iter()
+            .zip(&codes)
+            .map(|(&v, &c)| v * c as f64 / 128.0)
+            .sum();
+        assert!((got - want).abs() < 1e-4, "got {got} want {want}");
+    }
+
+    #[test]
+    fn output_clips_at_swing() {
+        let (mut mac, mut rng) = quiet_mac();
+        let inputs = [0.9f64; 32];
+        let codes = [127i32; 32];
+        let got = mac.multiply_accumulate(&inputs, &codes, &mut rng).unwrap();
+        assert!((got - SWING.value()).abs() < 1e-12, "clipped at +swing");
+        let codes_neg = [-127i32; 32];
+        let got = mac
+            .multiply_accumulate(&inputs, &codes_neg, &mut rng)
+            .unwrap();
+        assert!((got + SWING.value()).abs() < 1e-12, "clipped at -swing");
+    }
+
+    #[test]
+    fn noise_grows_as_damping_relaxes() {
+        let spread = |snr_db: f64| {
+            let mut rng = Rng::seed_from(11);
+            let mut mac = Mac::new(
+                MacConfig {
+                    weight_bits: 8,
+                    damping: DampingConfig::from_snr(SnrDb::new(snr_db)),
+                    model_mismatch: false,
+                },
+                &mut rng,
+            )
+            .unwrap();
+            let vals: Vec<f64> = (0..500)
+                .map(|_| mac.multiply_accumulate(&[0.5], &[64], &mut rng).unwrap())
+                .collect();
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64).sqrt()
+        };
+        let noisy = spread(30.0);
+        let clean = spread(60.0);
+        assert!(
+            noisy > 10.0 * clean,
+            "30 dB spread {noisy} vs 60 dB spread {clean}"
+        );
+    }
+
+    #[test]
+    fn energy_scales_with_damping_and_ops() {
+        let mut rng = Rng::seed_from(12);
+        let mut hi = Mac::new(
+            MacConfig {
+                damping: DampingConfig::high_fidelity(),
+                ..MacConfig::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        let mut lo = Mac::new(MacConfig::default(), &mut rng).unwrap();
+        let inputs = [0.1f64; 10];
+        let codes = [10i32; 10];
+        hi.multiply_accumulate(&inputs, &codes, &mut rng).unwrap();
+        lo.multiply_accumulate(&inputs, &codes, &mut rng).unwrap();
+        assert_eq!(hi.ops_performed(), 10);
+        // Table I: 60 dB costs 100× the energy of 40 dB.
+        let ratio = hi.energy_consumed() / lo.energy_consumed();
+        assert!((ratio - 100.0).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        let (mut mac, mut rng) = quiet_mac();
+        assert!(mac
+            .multiply_accumulate(&[1.0, 2.0], &[1], &mut rng)
+            .is_err());
+    }
+}

@@ -1,0 +1,195 @@
+//! Thermal-noise physics and noise budgeting.
+
+use crate::calib::{BOLTZMANN, NOMINAL_TEMPERATURE};
+use crate::{Farads, SnrDb, Volts};
+
+/// RMS thermal (kT/C) noise voltage of a sampling capacitor:
+/// `V̄n = sqrt(kT/C)` (§II-B of the paper).
+///
+/// # Panics
+///
+/// Panics if the capacitance is not positive.
+///
+/// # Example
+///
+/// ```
+/// use redeye_analog::{ktc_noise_voltage, Farads};
+///
+/// let vn = ktc_noise_voltage(Farads::from_femto(10.0));
+/// // ≈ 0.64 mV at room temperature.
+/// assert!((vn.value() - 6.4e-4).abs() < 1e-4);
+/// ```
+pub fn ktc_noise_voltage(cap: Farads) -> Volts {
+    assert!(cap.value() > 0.0, "capacitance must be positive");
+    Volts::new((BOLTZMANN * NOMINAL_TEMPERATURE / cap.value()).sqrt())
+}
+
+/// SNR from signal and noise *powers* (mean-square values).
+///
+/// # Panics
+///
+/// Panics if either power is not positive.
+pub fn snr_from_powers(signal_power: f64, noise_power: f64) -> SnrDb {
+    assert!(
+        signal_power > 0.0 && noise_power > 0.0,
+        "powers must be positive: signal {signal_power}, noise {noise_power}"
+    );
+    SnrDb::from_power_ratio(signal_power / noise_power)
+}
+
+/// Cumulative SNR of a cascade of stages that each add independent noise at
+/// their own per-stage SNR (relative to the local signal): noise powers add,
+/// so `SNR_total = −10·log10(Σ 10^(−SNR_i/10))`.
+///
+/// This is the §IV-B "propagate upwards" rule in closed form, and it
+/// explains the paper's Fig. 9 knee: ten 40 dB stages accumulate to ≈30 dB
+/// at the output — exactly where the paper reports GoogLeNet "only
+/// susceptible to signal infidelity when SNR drops below 30 dB".
+///
+/// # Panics
+///
+/// Panics on an empty stage list.
+///
+/// # Example
+///
+/// ```
+/// use redeye_analog::{cumulative_snr, SnrDb};
+///
+/// let stages = vec![SnrDb::new(40.0); 10];
+/// let total = cumulative_snr(&stages);
+/// assert!((total.db() - 30.0).abs() < 0.01);
+/// ```
+pub fn cumulative_snr(stages: &[SnrDb]) -> SnrDb {
+    assert!(!stages.is_empty(), "need at least one stage");
+    let noise: f64 = stages.iter().map(|s| 10f64.powf(-s.db() / 10.0)).sum();
+    SnrDb::from_power_ratio(1.0 / noise)
+}
+
+/// Accumulates independent noise contributions (power-additive) against a
+/// signal power, tracking the running SNR of an analog pipeline stage.
+///
+/// The paper's behavioral model propagates per-unit noise statistics upward
+/// "to assess the system-wide energy and noise statistics" (§IV-B); this
+/// budget is that upward propagation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseBudget {
+    signal_power: f64,
+    noise_power: f64,
+}
+
+impl NoiseBudget {
+    /// Starts a budget from a known signal power (mean-square volts²).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signal_power` is not positive.
+    pub fn new(signal_power: f64) -> Self {
+        assert!(signal_power > 0.0, "signal power must be positive");
+        NoiseBudget {
+            signal_power,
+            noise_power: 0.0,
+        }
+    }
+
+    /// Adds an independent noise source with the given RMS voltage.
+    pub fn add_noise_rms(&mut self, rms: Volts) {
+        self.noise_power += rms.value() * rms.value();
+    }
+
+    /// Adds an independent noise source with the given power (V²).
+    pub fn add_noise_power(&mut self, power: f64) {
+        assert!(power >= 0.0, "noise power must be non-negative");
+        self.noise_power += power;
+    }
+
+    /// Adds kT/C sampling noise from a capacitor.
+    pub fn add_sampling_noise(&mut self, cap: Farads) {
+        self.add_noise_rms(ktc_noise_voltage(cap));
+    }
+
+    /// Current total noise power (V²).
+    pub fn noise_power(&self) -> f64 {
+        self.noise_power
+    }
+
+    /// Signal power the budget was opened with (V²).
+    pub fn signal_power(&self) -> f64 {
+        self.signal_power
+    }
+
+    /// The resulting SNR, or `None` while no noise has been added.
+    pub fn snr(&self) -> Option<SnrDb> {
+        if self.noise_power == 0.0 {
+            None
+        } else {
+            Some(snr_from_powers(self.signal_power, self.noise_power))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ktc_scales_inverse_sqrt() {
+        let v1 = ktc_noise_voltage(Farads::from_femto(10.0));
+        let v2 = ktc_noise_voltage(Farads::from_femto(1000.0));
+        // 100× capacitance → 10× lower noise voltage.
+        assert!((v1.value() / v2.value() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snr_round_trip() {
+        let s = snr_from_powers(1.0, 1e-4);
+        assert!((s.db() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_noise_power_panics() {
+        snr_from_powers(1.0, 0.0);
+    }
+
+    #[test]
+    fn budget_accumulates_in_power() {
+        let mut b = NoiseBudget::new(1.0);
+        assert!(b.snr().is_none());
+        b.add_noise_rms(Volts::new(3e-3));
+        b.add_noise_rms(Volts::new(4e-3));
+        // powers add: 9e-6 + 16e-6 = 25e-6 → rms 5 mV.
+        assert!((b.noise_power() - 25e-6).abs() < 1e-12);
+        let snr = b.snr().unwrap();
+        assert!((snr.db() - 10.0 * (1.0f64 / 25e-6).log10()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cumulative_snr_closed_form() {
+        // One stage: identity.
+        assert!((cumulative_snr(&[SnrDb::new(42.0)]).db() - 42.0).abs() < 1e-9);
+        // Two equal stages: −3 dB.
+        let two = cumulative_snr(&[SnrDb::new(40.0), SnrDb::new(40.0)]);
+        assert!((two.db() - (40.0 - 10.0 * 2f64.log10())).abs() < 1e-9);
+        // A much noisier stage dominates.
+        let dom = cumulative_snr(&[SnrDb::new(60.0), SnrDb::new(20.0)]);
+        assert!((dom.db() - 20.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn ten_cascaded_stages_cost_ten_db() {
+        // Ten identical independent stages raise noise power 10× → −10 dB.
+        let one = {
+            let mut b = NoiseBudget::new(1.0);
+            b.add_sampling_noise(Farads::from_femto(10.0));
+            b.snr().unwrap().db()
+        };
+        let ten = {
+            let mut b = NoiseBudget::new(1.0);
+            for _ in 0..10 {
+                b.add_sampling_noise(Farads::from_femto(10.0));
+            }
+            b.snr().unwrap().db()
+        };
+        assert!((one - ten - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,152 @@
+//! The operational amplifier model (§IV-B timing/power parameters).
+//!
+//! Switched-capacitor stages (the MAC's charge transfer, the buffer's
+//! read-out) settle exponentially with the op amp's closed-loop bandwidth.
+//! The paper's behavioral model couples three parameter groups through the
+//! op amp: *power* (bias current "consuming static power to bias the
+//! transistors operating linearly", §II-A), *timing* (the slot allocated
+//! before the next stage samples), and *noise* (input-referred, so it
+//! "remains valid with variable gain settings", §IV-B). Power-gating means
+//! static energy is only burned during the allocated slot.
+//!
+//! The key coupled tradeoff: a shorter slot saves static energy but leaves
+//! *settling error* — "timing parameters work with power parameters … to
+//! report energy consumption as well as output signal inaccuracy from
+//! insufficient settling."
+
+use crate::{Seconds, SnrDb, Volts, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Behavioral op-amp model: bias power, unity-gain bandwidth, and
+/// input-referred noise.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpAmp {
+    /// Static bias power while enabled (power-gated otherwise).
+    pub bias_power: Watts,
+    /// Unity-gain bandwidth in Hz.
+    pub unity_gain_bandwidth: f64,
+    /// Input-referred RMS noise (gain-independent, per §IV-B).
+    pub input_noise_rms: Volts,
+}
+
+impl OpAmp {
+    /// A representative 0.18 µm two-stage op amp for the MAC: 200 µW bias,
+    /// 500 MHz GBW, 0.2 mV input-referred noise.
+    pub fn mac_amplifier() -> Self {
+        OpAmp {
+            bias_power: Watts::new(200e-6),
+            unity_gain_bandwidth: 500e6,
+            input_noise_rms: Volts::new(2e-4),
+        }
+    }
+
+    /// Closed-loop −3 dB bandwidth at a given noise gain (feedback factor
+    /// `1/gain`): `f₃dB = GBW / gain`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `gain ≥ 1`.
+    pub fn closed_loop_bandwidth(&self, gain: f64) -> f64 {
+        assert!(gain >= 1.0, "noise gain must be ≥ 1, got {gain}");
+        self.unity_gain_bandwidth / gain
+    }
+
+    /// Relative settling error after `slot` of single-pole settling at the
+    /// given closed-loop gain: `ε = exp(−2π·f₃dB·t)`.
+    pub fn settling_error(&self, slot: Seconds, gain: f64) -> f64 {
+        let f = self.closed_loop_bandwidth(gain);
+        (-2.0 * std::f64::consts::PI * f * slot.value()).exp()
+    }
+
+    /// Static energy burned during one enabled slot (power-gated outside
+    /// it): `E = P_bias · t`.
+    pub fn slot_energy(&self, slot: Seconds) -> crate::Joules {
+        self.bias_power * slot
+    }
+
+    /// The slot needed to settle to a target accuracy (expressed as an SNR:
+    /// the settling residue is a systematic error `ε·V_step`, so requiring
+    /// it below the noise floor means `ε ≤ 10^(−SNR/20)`).
+    pub fn slot_for_accuracy(&self, target: SnrDb, gain: f64) -> Seconds {
+        let epsilon = 10f64.powf(-target.db() / 20.0);
+        let f = self.closed_loop_bandwidth(gain);
+        Seconds::new(-epsilon.ln() / (2.0 * std::f64::consts::PI * f))
+    }
+
+    /// Output-referred noise at a gain setting: `V_out = gain · V_in` —
+    /// the reason the model stores the *input*-referred figure.
+    pub fn output_noise_rms(&self, gain: f64) -> Volts {
+        self.input_noise_rms * gain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calib::MAC_SETTLE_TIME_40DB;
+
+    #[test]
+    fn settling_error_decays_with_time() {
+        let amp = OpAmp::mac_amplifier();
+        let short = amp.settling_error(Seconds::from_nano(1.0), 2.0);
+        let long = amp.settling_error(Seconds::from_nano(10.0), 2.0);
+        assert!(long < short);
+        assert!(long < 1e-6, "10 ns settles deeply: {long}");
+    }
+
+    #[test]
+    fn higher_gain_settles_slower() {
+        let amp = OpAmp::mac_amplifier();
+        let t = Seconds::from_nano(3.0);
+        assert!(amp.settling_error(t, 8.0) > amp.settling_error(t, 1.0));
+    }
+
+    #[test]
+    fn calibrated_mac_slot_reaches_40_db() {
+        // The calibrated 6.5 ns MAC slot must settle below the 40 dB
+        // operating point's noise floor at the MAC's typical gain (~2).
+        let amp = OpAmp::mac_amplifier();
+        let eps = amp.settling_error(MAC_SETTLE_TIME_40DB, 2.0);
+        assert!(
+            eps < 1e-2,
+            "6.5 ns slot must settle below 1% (−40 dB): ε = {eps}"
+        );
+        // And the inverse solves back to a slot no longer than calibrated.
+        let needed = amp.slot_for_accuracy(SnrDb::new(40.0), 2.0);
+        assert!(needed.value() <= MAC_SETTLE_TIME_40DB.value());
+    }
+
+    #[test]
+    fn slot_energy_is_power_times_time() {
+        let amp = OpAmp::mac_amplifier();
+        let e = amp.slot_energy(Seconds::from_nano(6.5));
+        assert!((e.value() - 200e-6 * 6.5e-9).abs() < 1e-20);
+    }
+
+    #[test]
+    fn energy_accuracy_tradeoff_is_logarithmic() {
+        // Each +20 dB of settling accuracy costs the same extra slot time
+        // (exponential settling ⇒ linear time in log accuracy).
+        let amp = OpAmp::mac_amplifier();
+        let t40 = amp.slot_for_accuracy(SnrDb::new(40.0), 2.0);
+        let t60 = amp.slot_for_accuracy(SnrDb::new(60.0), 2.0);
+        let t80 = amp.slot_for_accuracy(SnrDb::new(80.0), 2.0);
+        let step1 = t60.value() - t40.value();
+        let step2 = t80.value() - t60.value();
+        assert!((step1 / step2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn output_noise_scales_with_gain() {
+        let amp = OpAmp::mac_amplifier();
+        let g1 = amp.output_noise_rms(1.0);
+        let g4 = amp.output_noise_rms(4.0);
+        assert!((g4.value() / g1.value() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "noise gain")]
+    fn sub_unity_gain_panics() {
+        OpAmp::mac_amplifier().closed_loop_bandwidth(0.5);
+    }
+}

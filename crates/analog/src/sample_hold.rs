@@ -1,0 +1,146 @@
+//! The analog memory cell (buffer module storage element).
+//!
+//! RedEye's inter-stage buffers are switched-capacitor sample-and-hold
+//! cells. Each write samples the signal onto the storage capacitor, picking
+//! up kT/C noise (scaled by the switch excess-noise factor γ, §IV-B) and
+//! costing `C·V²`-class energy; held values droop toward mid-rail through
+//! switch leakage while they wait for the next processing cycle.
+
+use crate::calib::{MEMORY_WRITE_ENERGY_40DB, SWING};
+use crate::{DampingConfig, Joules, Seconds};
+use redeye_tensor::Rng;
+
+/// Switch excess-noise factor γ: thermal noise of a real MOS sampling switch
+/// exceeds the ideal-insulator kT/C by this factor (§IV-B).
+const GAMMA: f64 = 1.5;
+
+/// Behavioral model of one analog memory cell.
+#[derive(Debug, Clone)]
+pub struct SampleHold {
+    damping: DampingConfig,
+    /// Relative droop rate toward zero, per second of hold time.
+    droop_per_second: f64,
+    stored: f64,
+    energy: Joules,
+    writes: u64,
+}
+
+impl SampleHold {
+    /// Creates a cell at the given damping (storage-capacitance) point with
+    /// a representative 0.18 µm leakage droop (0.1%/ms).
+    pub fn new(damping: DampingConfig) -> Self {
+        SampleHold {
+            damping,
+            droop_per_second: 1.0,
+            stored: 0.0,
+            energy: Joules::zero(),
+            writes: 0,
+        }
+    }
+
+    /// Overrides the droop rate (fraction of stored value lost per second).
+    pub fn with_droop(mut self, droop_per_second: f64) -> Self {
+        self.droop_per_second = droop_per_second;
+        self
+    }
+
+    /// Writes a value, adding γ-scaled kT/C sampling noise and clipping to
+    /// the rail swing.
+    pub fn write(&mut self, value: f64, rng: &mut Rng) {
+        let noise_rms = self.damping.noise_rms().value() * GAMMA.sqrt();
+        let noisy = value + f64::from(rng.standard_normal()) * noise_rms;
+        self.stored = noisy.clamp(-SWING.value(), SWING.value());
+        self.energy += self.write_energy();
+        self.writes += 1;
+    }
+
+    /// Reads the held value after `held_for` of droop.
+    pub fn read(&self, held_for: Seconds) -> f64 {
+        let decay = (-self.droop_per_second * held_for.value()).exp();
+        self.stored * decay
+    }
+
+    /// Reads the value immediately (no droop).
+    pub fn read_now(&self) -> f64 {
+        self.stored
+    }
+
+    /// Energy of one write at the configured damping point.
+    pub fn write_energy(&self) -> Joules {
+        MEMORY_WRITE_ENERGY_40DB * self.damping.energy_scale()
+    }
+
+    /// Total energy consumed by writes.
+    pub fn energy_consumed(&self) -> Joules {
+        self.energy
+    }
+
+    /// Number of writes performed.
+    pub fn writes_performed(&self) -> u64 {
+        self.writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SnrDb;
+
+    #[test]
+    fn write_read_round_trip_at_high_fidelity() {
+        let mut cell = SampleHold::new(DampingConfig::from_snr(SnrDb::new(100.0)));
+        let mut rng = Rng::seed_from(1);
+        cell.write(0.42, &mut rng);
+        assert!((cell.read_now() - 0.42).abs() < 1e-4);
+    }
+
+    #[test]
+    fn write_noise_scales_with_damping() {
+        let spread = |snr: f64| {
+            let mut cell = SampleHold::new(DampingConfig::from_snr(SnrDb::new(snr)));
+            let mut rng = Rng::seed_from(2);
+            let vals: Vec<f64> = (0..400)
+                .map(|_| {
+                    cell.write(0.1, &mut rng);
+                    cell.read_now()
+                })
+                .collect();
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64).sqrt()
+        };
+        assert!(spread(30.0) > 5.0 * spread(60.0));
+    }
+
+    #[test]
+    fn droop_decays_exponentially() {
+        let mut cell =
+            SampleHold::new(DampingConfig::from_snr(SnrDb::new(100.0))).with_droop(100.0);
+        let mut rng = Rng::seed_from(3);
+        cell.write(0.8, &mut rng);
+        let now = cell.read(Seconds::new(0.0));
+        let later = cell.read(Seconds::from_milli(10.0));
+        assert!((later / now - (-1.0f64).exp()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rails_clip_writes() {
+        let mut cell = SampleHold::new(DampingConfig::from_snr(SnrDb::new(100.0)));
+        let mut rng = Rng::seed_from(4);
+        cell.write(5.0, &mut rng);
+        assert_eq!(cell.read_now(), SWING.value());
+    }
+
+    #[test]
+    fn energy_tracks_writes_and_damping() {
+        let mut hi = SampleHold::new(DampingConfig::high_fidelity());
+        let mut lo = SampleHold::new(DampingConfig::high_efficiency());
+        let mut rng = Rng::seed_from(5);
+        for _ in 0..3 {
+            hi.write(0.1, &mut rng);
+            lo.write(0.1, &mut rng);
+        }
+        assert_eq!(hi.writes_performed(), 3);
+        let ratio = hi.energy_consumed() / lo.energy_consumed();
+        assert!((ratio - 100.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,376 @@
+//! The variable-resolution SAR ADC (§II-B, §IV-A).
+//!
+//! RedEye's quantization module is a 10-bit successive-approximation ADC
+//! whose resolution can be lowered at runtime by *cutting the MSB
+//! capacitor*: removing `C_n` halves the total array capacitance `C_Σ`, and
+//! the next bit's weight is automatically promoted to ½ — conserving signal
+//! range and allowing straightforward zero-padded bit alignment. Energy
+//! scales with the active array size (`C_Σ = 2^n·C0`), i.e. halves per bit
+//! removed; quantization noise doubles per bit removed. This is the
+//! energy–noise tradeoff the Fig. 10 sweep exercises.
+
+use crate::calib::{MISMATCH_COEFF, SAR_ARRAY_STEP_ENERGY, SAR_BIT_LOGIC_ENERGY, SAR_BIT_TIME};
+use crate::{AnalogError, Joules, Result, Seconds, SnrDb};
+use redeye_tensor::Rng;
+
+/// Maximum designed resolution of the array (the paper's design is 10-bit).
+pub const MAX_RESOLUTION: u32 = 10;
+
+/// Result of one SAR conversion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SarConversion {
+    /// The output code in `[0, 2^n)`.
+    pub code: u32,
+    /// Active resolution used for this conversion.
+    pub resolution: u32,
+}
+
+impl SarConversion {
+    /// Ideal mid-rise reconstruction of the code onto `[0, 1)` full scale.
+    pub fn reconstruct(&self) -> f64 {
+        (self.code as f64 + 0.5) / 2f64.powi(self.resolution as i32)
+    }
+
+    /// Zero-padded alignment of the code to the full 10-bit grid, as the
+    /// paper's digital interface performs.
+    pub fn aligned_code(&self) -> u32 {
+        self.code << (MAX_RESOLUTION - self.resolution)
+    }
+}
+
+/// Behavioral model of the charge-redistribution SAR ADC.
+///
+/// The full 10-capacitor binary-weighted array is built once (optionally
+/// with static mismatch); lowering the resolution deactivates MSB
+/// capacitors, exactly as the circuit does.
+#[derive(Debug, Clone)]
+pub struct SarAdc {
+    resolution: u32,
+    /// Relative mismatch of each binary-weighted capacitor `C_1..C_10`.
+    mismatch: [f64; MAX_RESOLUTION as usize],
+    /// Comparator input-referred noise as a fraction of full scale.
+    comparator_noise: f64,
+    /// Unit-capacitor scale relative to the calibrated `C0` (§II-B: "using
+    /// a larger unit capacitor C0 improves matching but consumes more
+    /// energy, creating a tradeoff between efficiency and linearity").
+    unit_scale: f64,
+    energy: Joules,
+    conversions: u64,
+}
+
+impl SarAdc {
+    /// Creates an ideal (mismatch-free, noiseless-comparator) ADC at the
+    /// given resolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::OutOfRange`] unless `1 ≤ resolution ≤ 10`.
+    pub fn new(resolution: u32) -> Result<Self> {
+        if !(1..=MAX_RESOLUTION).contains(&resolution) {
+            return Err(AnalogError::OutOfRange {
+                parameter: "resolution",
+                value: resolution.to_string(),
+                allowed: "1..=10",
+            });
+        }
+        Ok(SarAdc {
+            resolution,
+            mismatch: [0.0; MAX_RESOLUTION as usize],
+            comparator_noise: 0.0,
+            unit_scale: 1.0,
+            energy: Joules::zero(),
+            conversions: 0,
+        })
+    }
+
+    /// Creates an ADC with Pelgrom-scaled random capacitor mismatch and a
+    /// small comparator noise floor.
+    ///
+    /// Bigger capacitors match better: `σ(ε_i) = MISMATCH_COEFF/√(2^(i−1))`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::OutOfRange`] unless `1 ≤ resolution ≤ 10`.
+    pub fn with_mismatch(resolution: u32, rng: &mut Rng) -> Result<Self> {
+        SarAdc::with_unit_scale(resolution, 1.0, rng)
+    }
+
+    /// Creates a mismatched ADC whose unit capacitor is `unit_scale × C0`
+    /// — the §II-B linearity–energy knob: mismatch shrinks with `√scale`
+    /// (Pelgrom area scaling) while array energy grows linearly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::OutOfRange`] for a bad resolution or a
+    /// non-positive scale.
+    pub fn with_unit_scale(resolution: u32, unit_scale: f64, rng: &mut Rng) -> Result<Self> {
+        if !(unit_scale > 0.0 && unit_scale.is_finite()) {
+            return Err(AnalogError::OutOfRange {
+                parameter: "unit capacitor scale",
+                value: unit_scale.to_string(),
+                allowed: "positive finite",
+            });
+        }
+        let mut adc = SarAdc::new(resolution)?;
+        adc.unit_scale = unit_scale;
+        for (i, m) in adc.mismatch.iter_mut().enumerate() {
+            let units = 2f64.powi(i as i32) * unit_scale;
+            *m = f64::from(rng.standard_normal()) * MISMATCH_COEFF / units.sqrt();
+        }
+        adc.comparator_noise = 1e-4;
+        Ok(adc)
+    }
+
+    /// Active resolution in bits.
+    pub fn resolution(&self) -> u32 {
+        self.resolution
+    }
+
+    /// Changes the active resolution at runtime (the dynamic quantization
+    /// mechanism of §III-C).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::OutOfRange`] unless `1 ≤ resolution ≤ 10`.
+    pub fn set_resolution(&mut self, resolution: u32) -> Result<()> {
+        if !(1..=MAX_RESOLUTION).contains(&resolution) {
+            return Err(AnalogError::OutOfRange {
+                parameter: "resolution",
+                value: resolution.to_string(),
+                allowed: "1..=10",
+            });
+        }
+        self.resolution = resolution;
+        Ok(())
+    }
+
+    /// Weight of active bit `i` (1-based, `i = resolution` is the MSB),
+    /// including mismatch: `w_i = C_i / C_Σ`.
+    fn bit_weight(&self, i: u32) -> f64 {
+        debug_assert!((1..=self.resolution).contains(&i));
+        let cap = |j: u32| 2f64.powi(j as i32 - 1) * (1.0 + self.mismatch[(j - 1) as usize]);
+        let total: f64 = (1..=self.resolution).map(cap).sum::<f64>() + 1.0; // + C0 terminator
+        cap(i) / total
+    }
+
+    /// Converts a normalized input in `[0, 1)` of full scale.
+    ///
+    /// Out-of-range inputs are clipped to the rails (as the real circuit
+    /// does).
+    pub fn convert(&mut self, input: f64, rng: &mut Rng) -> SarConversion {
+        let x = input.clamp(0.0, 1.0 - f64::EPSILON);
+        let mut code = 0u32;
+        let mut approximation = 0.0f64;
+        for i in (1..=self.resolution).rev() {
+            let trial = approximation + self.bit_weight(i);
+            let noise = if self.comparator_noise > 0.0 {
+                f64::from(rng.standard_normal()) * self.comparator_noise
+            } else {
+                0.0
+            };
+            if x + noise >= trial {
+                approximation = trial;
+                code |= 1 << (i - 1);
+            }
+        }
+        self.energy += self.energy_per_conversion();
+        self.conversions += 1;
+        SarConversion {
+            code,
+            resolution: self.resolution,
+        }
+    }
+
+    /// Energy of one conversion at the active resolution: the array
+    /// (`∝ 2^n · unit_scale`) plus comparator/logic (`∝ n`).
+    pub fn energy_per_conversion(&self) -> Joules {
+        SAR_ARRAY_STEP_ENERGY * (2f64.powi(self.resolution as i32) * self.unit_scale)
+            + SAR_BIT_LOGIC_ENERGY * f64::from(self.resolution)
+    }
+
+    /// Time of one conversion (one bit cycle per active bit).
+    pub fn time_per_conversion(&self) -> Seconds {
+        SAR_BIT_TIME * f64::from(self.resolution)
+    }
+
+    /// Ideal quantization SNR for a full-scale uniform input:
+    /// `SNR = 6.02·n + 1.76 dB` (for a sine; uniform is `6.02·n` — we report
+    /// the uniform-signal figure, which is what feature maps resemble).
+    pub fn ideal_quantization_snr(&self) -> SnrDb {
+        SnrDb::new(6.02 * f64::from(self.resolution))
+    }
+
+    /// Measures the effective number of bits by converting `samples` uniform
+    /// random inputs and comparing reconstruction error to the ideal LSB
+    /// noise: `ENOB = n − log2(rms_err / ideal_rms_err)`.
+    pub fn simulated_enob(&mut self, samples: usize, rng: &mut Rng) -> f64 {
+        let n = self.resolution;
+        let mut err_power = 0.0f64;
+        for _ in 0..samples.max(1) {
+            let x = f64::from(rng.uniform(0.0, 1.0));
+            let conv = self.convert(x, rng);
+            let e = conv.reconstruct() - x;
+            err_power += e * e;
+        }
+        err_power /= samples.max(1) as f64;
+        let lsb = 1.0 / 2f64.powi(n as i32);
+        let ideal_power = lsb * lsb / 12.0;
+        f64::from(n) - 0.5 * (err_power / ideal_power).log2()
+    }
+
+    /// Total energy consumed.
+    pub fn energy_consumed(&self) -> Joules {
+        self.energy
+    }
+
+    /// Total conversions performed.
+    pub fn conversions_performed(&self) -> u64 {
+        self.conversions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_conversion_is_floor_of_scaled_input() {
+        let mut adc = SarAdc::new(8).unwrap();
+        let mut rng = Rng::seed_from(1);
+        for &x in &[0.0, 0.1, 0.25, 0.5, 0.73, 0.999] {
+            let conv = adc.convert(x, &mut rng);
+            assert_eq!(conv.code, (x * 256.0) as u32, "input {x}");
+        }
+    }
+
+    #[test]
+    fn reconstruction_error_bounded_by_lsb() {
+        let mut adc = SarAdc::new(6).unwrap();
+        let mut rng = Rng::seed_from(2);
+        let lsb = 1.0 / 64.0;
+        for i in 0..100 {
+            let x = i as f64 / 100.0;
+            let conv = adc.convert(x, &mut rng);
+            assert!((conv.reconstruct() - x).abs() <= lsb, "input {x}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_clips() {
+        let mut adc = SarAdc::new(4).unwrap();
+        let mut rng = Rng::seed_from(3);
+        assert_eq!(adc.convert(-0.5, &mut rng).code, 0);
+        assert_eq!(adc.convert(1.5, &mut rng).code, 15);
+    }
+
+    #[test]
+    fn msb_cutting_conserves_signal_range() {
+        // The same input converts to codes whose *aligned* values agree
+        // across resolutions — the range-conserving promotion of §IV-A.
+        let mut rng = Rng::seed_from(4);
+        let x = 0.6328125; // exactly representable at 7 bits
+        let mut codes = Vec::new();
+        for n in [10u32, 8, 6] {
+            let mut adc = SarAdc::new(n).unwrap();
+            let conv = adc.convert(x, &mut rng);
+            codes.push(conv.aligned_code() as f64 / 1024.0);
+        }
+        for c in &codes {
+            assert!((c - x).abs() <= 1.0 / 64.0, "aligned {c} vs {x}");
+        }
+    }
+
+    #[test]
+    fn energy_halves_per_bit_cut() {
+        let e = |n: u32| SarAdc::new(n).unwrap().energy_per_conversion().value();
+        // Array term dominates: ratio just over 2 (logic term is linear).
+        let ratio = e(10) / e(9);
+        assert!((1.9..2.1).contains(&ratio), "ratio {ratio}");
+        assert!(e(4) < e(10) / 32.0);
+    }
+
+    #[test]
+    fn enob_close_to_nominal_when_ideal() {
+        let mut adc = SarAdc::new(8).unwrap();
+        let mut rng = Rng::seed_from(5);
+        let enob = adc.simulated_enob(20_000, &mut rng);
+        assert!((7.8..8.2).contains(&enob), "ideal ENOB {enob}");
+    }
+
+    #[test]
+    fn enob_degrades_with_mismatch_but_stays_close() {
+        let mut rng = Rng::seed_from(6);
+        let mut adc = SarAdc::with_mismatch(10, &mut rng).unwrap();
+        let enob = adc.simulated_enob(20_000, &mut rng);
+        assert!(enob < 10.05, "mismatch cannot add bits: {enob}");
+        assert!(enob > 9.0, "0.2% matching keeps ENOB near 10: {enob}");
+    }
+
+    #[test]
+    fn linearity_energy_tradeoff() {
+        // §II-B: a 16× larger unit capacitor improves matching (higher
+        // ENOB) but costs ~16× array energy.
+        let enob_at = |scale: f64| {
+            // Average over several mismatch draws to de-noise the estimate.
+            let mut total = 0.0;
+            for seed in 0..5 {
+                let mut rng = Rng::seed_from(100 + seed);
+                let mut adc = SarAdc::with_unit_scale(10, scale, &mut rng).unwrap();
+                total += adc.simulated_enob(4000, &mut rng);
+            }
+            total / 5.0
+        };
+        // Exaggerate mismatch sensitivity by comparing a tiny unit cap
+        // (0.01×C0) against a full-size one.
+        let small = enob_at(0.01);
+        let large = enob_at(16.0);
+        assert!(
+            large > small,
+            "bigger unit cap must match better: {small} vs {large}"
+        );
+        let mut rng = Rng::seed_from(1);
+        let e_small = SarAdc::with_unit_scale(10, 0.01, &mut rng)
+            .unwrap()
+            .energy_per_conversion();
+        let e_large = SarAdc::with_unit_scale(10, 16.0, &mut rng)
+            .unwrap()
+            .energy_per_conversion();
+        assert!(e_large.value() > 100.0 * e_small.value());
+    }
+
+    #[test]
+    fn bad_unit_scale_rejected() {
+        let mut rng = Rng::seed_from(1);
+        assert!(SarAdc::with_unit_scale(8, 0.0, &mut rng).is_err());
+        assert!(SarAdc::with_unit_scale(8, f64::NAN, &mut rng).is_err());
+    }
+
+    #[test]
+    fn resolution_change_at_runtime() {
+        let mut adc = SarAdc::new(10).unwrap();
+        adc.set_resolution(4).unwrap();
+        assert_eq!(adc.resolution(), 4);
+        let mut rng = Rng::seed_from(7);
+        assert!(adc.convert(0.5, &mut rng).code < 16);
+        assert!(adc.set_resolution(0).is_err());
+        assert!(adc.set_resolution(11).is_err());
+    }
+
+    #[test]
+    fn conversion_counters_accumulate() {
+        let mut adc = SarAdc::new(4).unwrap();
+        let mut rng = Rng::seed_from(8);
+        for _ in 0..5 {
+            adc.convert(0.3, &mut rng);
+        }
+        assert_eq!(adc.conversions_performed(), 5);
+        let expect = adc.energy_per_conversion() * 5.0;
+        assert!((adc.energy_consumed().value() - expect.value()).abs() < 1e-24);
+    }
+
+    #[test]
+    fn ideal_snr_formula() {
+        let adc = SarAdc::new(10).unwrap();
+        assert!((adc.ideal_quantization_snr().db() - 60.2).abs() < 1e-9);
+    }
+}

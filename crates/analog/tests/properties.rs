@@ -1,0 +1,75 @@
+//! Property-based tests for the analog behavioral models.
+
+use proptest::prelude::*;
+use redeye_analog::{ktc_noise_voltage, DampingConfig, Farads, SarAdc, SnrDb, TunableCap};
+use redeye_tensor::Rng;
+
+proptest! {
+    /// E ∝ C ∝ 1/V̄n²: +10 dB always costs exactly 10× energy.
+    #[test]
+    fn damping_energy_is_exponential_in_snr(snr in 20.0f64..80.0) {
+        let a = DampingConfig::from_snr(SnrDb::new(snr));
+        let b = DampingConfig::from_snr(SnrDb::new(snr + 10.0));
+        prop_assert!((b.energy_scale() / a.energy_scale() - 10.0).abs() < 1e-9);
+    }
+
+    /// kT/C noise voltage is monotone decreasing in capacitance.
+    #[test]
+    fn ktc_monotone(c1 in 1.0f64..1000.0, c2 in 1.0f64..1000.0) {
+        prop_assume!(c1 < c2);
+        let v1 = ktc_noise_voltage(Farads::from_femto(c1));
+        let v2 = ktc_noise_voltage(Farads::from_femto(c2));
+        prop_assert!(v1.value() > v2.value());
+    }
+
+    /// The ideal weight DAC is exact: apply(v, code) == v·code/2^bits.
+    #[test]
+    fn tunable_cap_exact(code in 0u32..256, v in -0.9f64..0.9) {
+        let tc = TunableCap::new(8).unwrap();
+        let got = tc.apply(v, code).unwrap();
+        prop_assert!((got - v * code as f64 / 256.0).abs() < 1e-12);
+    }
+
+    /// Charge-sharing sampling energy never exceeds the naïve design's.
+    #[test]
+    fn charge_sharing_never_worse(bits in 2u32..=12, seed in 0u64..100) {
+        let tc = TunableCap::new(bits).unwrap();
+        let mut rng = Rng::seed_from(seed);
+        let code = rng.index(1 << bits as usize) as u32;
+        prop_assert!(tc.sampling_energy(code).value() <= tc.naive_sampling_energy().value());
+    }
+
+    /// Ideal SAR codes are monotone in the input.
+    #[test]
+    fn sar_monotone(n in 1u32..=10, seed in 0u64..100) {
+        let mut adc = SarAdc::new(n).unwrap();
+        let mut rng = Rng::seed_from(seed);
+        let mut prev = 0u32;
+        for i in 0..=20 {
+            let x = i as f64 / 20.0 * 0.999;
+            let code = adc.convert(x, &mut rng).code;
+            prop_assert!(code >= prev, "code regressed at {x}");
+            prev = code;
+        }
+    }
+
+    /// Aligned codes agree across resolutions to within the coarser LSB.
+    #[test]
+    fn sar_alignment_conserves_range(x in 0.0f64..0.999, n in 2u32..=9) {
+        let mut rng = Rng::seed_from(1);
+        let mut coarse = SarAdc::new(n).unwrap();
+        let mut fine = SarAdc::new(10).unwrap();
+        let a = coarse.convert(x, &mut rng).aligned_code() as f64 / 1024.0;
+        let b = fine.convert(x, &mut rng).aligned_code() as f64 / 1024.0;
+        let lsb = 1.0 / 2f64.powi(n as i32);
+        prop_assert!((a - b).abs() <= lsb, "coarse {a} vs fine {b}");
+    }
+
+    /// SAR energy is strictly increasing in resolution.
+    #[test]
+    fn sar_energy_monotone(n in 1u32..10) {
+        let e1 = SarAdc::new(n).unwrap().energy_per_conversion();
+        let e2 = SarAdc::new(n + 1).unwrap().energy_per_conversion();
+        prop_assert!(e2.value() > e1.value());
+    }
+}

@@ -1,0 +1,119 @@
+//! Criterion micro-benchmarks of the RedEye simulator itself: the cost of
+//! regenerating each paper artifact, plus the hot analog-model paths.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use redeye_analog::{Comparator, DampingConfig, Mac, MacConfig, SarAdc, SnrDb, TunableCap};
+use redeye_core::{compile, estimate, CompileOptions, Depth, Executor, RedEyeConfig, WeightBank};
+use redeye_nn::{build_network, summarize, zoo, WeightInit};
+use redeye_system::scenario;
+use redeye_tensor::{Rng, Tensor};
+
+/// Fig. 7 / Table I path: the analytic GoogLeNet estimator at all depths.
+fn bench_estimator(c: &mut Criterion) {
+    c.bench_function("fig7_table1/estimate_all_depths", |b| {
+        b.iter(|| estimate::estimate_all_depths(&RedEyeConfig::default()).unwrap())
+    });
+    c.bench_function("fig7/summarize_googlenet", |b| {
+        b.iter(|| summarize(&zoo::googlenet()).unwrap())
+    });
+}
+
+/// Fig. 8 path: the six system scenarios (includes two Jetson model fits).
+fn bench_scenarios(c: &mut Criterion) {
+    c.bench_function("fig8/six_system_scenarios", |b| {
+        b.iter(|| scenario::fig8(&RedEyeConfig::default()))
+    });
+}
+
+/// Fig. 9/10 inner loop: one functional frame through the analog executor.
+fn bench_executor(c: &mut Criterion) {
+    let spec = zoo::micronet(8, 10);
+    let prefix = spec.prefix_through("pool3").unwrap();
+    let mut rng = Rng::seed_from(1);
+    let mut net = build_network(&prefix, WeightInit::HeNormal, &mut rng).unwrap();
+    let mut bank = WeightBank::from_network(&mut net);
+    let program = compile(&prefix, &mut bank, &CompileOptions::default()).unwrap();
+    let input = Tensor::full(&[3, 32, 32], 0.4);
+    c.bench_function("fig9_fig10/executor_frame_micronet", |b| {
+        b.iter_batched(
+            || Executor::new(program.clone(), 7),
+            |mut exec| exec.execute(&input).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// §IV-A circuit models: MAC, SAR conversion, comparator, weight DAC.
+fn bench_circuits(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(2);
+    let mut mac = Mac::new(MacConfig::default(), &mut rng).unwrap();
+    let inputs = [0.3f64; 49];
+    let codes = [37i32; 49];
+    c.bench_function("circuit/mac_49tap", |b| {
+        b.iter(|| mac.multiply_accumulate(&inputs, &codes, &mut rng).unwrap())
+    });
+
+    let mut adc = SarAdc::new(10).unwrap();
+    c.bench_function("circuit/sar_convert_10bit", |b| {
+        b.iter(|| adc.convert(0.6172, &mut rng))
+    });
+
+    let mut cmp = Comparator::new();
+    c.bench_function("circuit/comparator_decision", |b| {
+        b.iter(|| cmp.compare(0.31, 0.29, &mut rng))
+    });
+
+    let tc = TunableCap::new(8).unwrap();
+    c.bench_function("circuit/tunable_cap_apply", |b| {
+        b.iter(|| tc.apply(0.5, 171).unwrap())
+    });
+}
+
+/// §IV-A ablation: charge-sharing vs naïve DAC sampling energy, all codes.
+fn bench_ablation(c: &mut Criterion) {
+    let tc = TunableCap::new(8).unwrap();
+    c.bench_function("ablation/charge_sharing_energy_sweep", |b| {
+        b.iter(|| {
+            (0..256u32)
+                .map(|code| tc.sampling_energy(code).value())
+                .sum::<f64>()
+        })
+    });
+    c.bench_function("ablation/damping_energy_law", |b| {
+        b.iter(|| {
+            (30..=70)
+                .map(|db| DampingConfig::from_snr(SnrDb::new(db as f64)).energy_scale())
+                .sum::<f64>()
+        })
+    });
+}
+
+/// Depth sweep of the analytic path used by the partition explorer.
+fn bench_depths(c: &mut Criterion) {
+    let config = RedEyeConfig::default();
+    c.bench_function("fig6/partition_estimates", |b| {
+        b.iter(|| {
+            Depth::ALL
+                .iter()
+                .map(|&d| {
+                    estimate::estimate_depth(d, &config)
+                        .unwrap()
+                        .energy
+                        .analog_total()
+                        .value()
+                })
+                .sum::<f64>()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_estimator,
+    bench_scenarios,
+    bench_executor,
+    bench_circuits,
+    bench_ablation,
+    bench_depths
+);
+criterion_main!(benches);

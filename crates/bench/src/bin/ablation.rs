@@ -1,0 +1,5 @@
+//! Regenerates the paper's ablation artifact. See `redeye_bench::figures`.
+
+fn main() {
+    redeye_bench::figures::ablation();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the alexnet study. See `redeye_bench::figures`.
+
+fn main() {
+    redeye_bench::figures::alexnet();
+}

@@ -1,0 +1,22 @@
+//! Regenerates every table and figure of the paper's evaluation in order.
+//!
+//! Usage: `all_experiments [validation_n] [threads]` — defaults 400 / 8.
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(400);
+    let threads: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    use redeye_bench::figures;
+    figures::fig6();
+    figures::fig7();
+    figures::fig8();
+    figures::table1();
+    figures::headline();
+    figures::ablation();
+    figures::alexnet();
+    figures::lowlight();
+    println!("\ntraining the accuracy stand-in network (this takes a minute)...");
+    let model = redeye_bench::workload::train_standin(1600, 30, 7);
+    figures::fig9(&model, n, threads);
+    figures::fig10(&model, n, threads);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig7 artifact. See `redeye_bench::figures`.
+
+fn main() {
+    redeye_bench::figures::fig7();
+}

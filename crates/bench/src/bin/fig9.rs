@@ -1,0 +1,11 @@
+//! Regenerates Fig. 9 (accuracy & energy vs Gaussian SNR).
+//!
+//! Usage: `fig9 [validation_n] [threads]` — defaults 400 / 8.
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(400);
+    let threads: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    let model = redeye_bench::workload::train_standin(1600, 30, 7);
+    redeye_bench::figures::fig9(&model, n, threads);
+}

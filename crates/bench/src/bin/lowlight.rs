@@ -1,0 +1,5 @@
+//! Regenerates the lowlight study. See `redeye_bench::figures`.
+
+fn main() {
+    redeye_bench::figures::lowlight();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table1 artifact. See `redeye_bench::figures`.
+
+fn main() {
+    redeye_bench::figures::table1();
+}

@@ -1,0 +1,483 @@
+//! One function per paper artifact; binaries are thin wrappers.
+
+use crate::report::{energy, pct, section, table, time};
+use crate::workload;
+use redeye_analog::{Joules, SnrDb, TunableCap};
+use redeye_core::{area::AreaEstimate, estimate, Depth, RedEyeConfig};
+use redeye_nn::{summarize, zoo};
+use redeye_sim::{instrument, AccuracyHarness, InstrumentOptions};
+use redeye_system::{scenario, ImageSensor, JetsonHost, JetsonKind, ShiDianNao};
+
+/// Fig. 6 — the GoogLeNet partitions RedEye executes.
+pub fn fig6() {
+    section("Fig. 6 — GoogLeNet partitions (C/P operations per depth)");
+    let spec = zoo::googlenet();
+    let summary = summarize(&spec).expect("GoogLeNet summarizes");
+    let rows: Vec<Vec<String>> = Depth::ALL
+        .iter()
+        .map(|&d| {
+            let totals = summary.prefix_totals(d.cut_layer()).expect("cut exists");
+            let shape = totals
+                .out_shape
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("x");
+            vec![
+                d.to_string(),
+                d.cut_layer().to_string(),
+                shape,
+                format!("{:.1} M", totals.macs as f64 / 1e6),
+                format!("{:.2} M", totals.out_len as f64 / 1e6),
+            ]
+        })
+        .collect();
+    table(
+        &[
+            "depth",
+            "cut layer",
+            "output (CxHxW)",
+            "MACs",
+            "readout values",
+        ],
+        &rows,
+    );
+}
+
+/// Fig. 7 — energy (a), timing (b), and quantization workload (c) per depth
+/// versus the conventional image sensor, at 4-bit / 40 dB.
+pub fn fig7() {
+    let config = RedEyeConfig::default();
+    let sensor = ImageSensor::paper_baseline();
+    let ests = estimate::estimate_all_depths(&config).expect("GoogLeNet estimates");
+
+    section("Fig. 7a — Energy per frame (log scale in the paper)");
+    let mut rows = vec![vec![
+        "Image sensor".to_string(),
+        energy(sensor.analog_energy_per_frame()),
+        "-".into(),
+        energy(sensor.analog_energy_per_frame()),
+        "1.1 mJ".into(),
+    ]];
+    for (d, est) in &ests {
+        let paper = match d {
+            Depth::D1 => "0.17 mJ",
+            Depth::D4 => "1.3 mJ",
+            Depth::D5 => "1.4 mJ",
+            _ => "-",
+        };
+        rows.push(vec![
+            d.to_string(),
+            energy(est.energy.processing + est.energy.pooling + est.energy.memory),
+            energy(est.energy.quantization),
+            energy(est.energy.analog_total()),
+            paper.into(),
+        ]);
+    }
+    table(
+        &["config", "processing", "readout", "analog total", "paper"],
+        &rows,
+    );
+
+    section("Fig. 7b — Timing per frame");
+    let mut rows = vec![vec![
+        "Image sensor".to_string(),
+        time(sensor.frame_time()),
+        "30.0".into(),
+        "33 ms (30 fps)".into(),
+    ]];
+    for (d, est) in &ests {
+        let paper = if *d == Depth::D5 {
+            "32 ms (~30 fps)"
+        } else {
+            "-"
+        };
+        rows.push(vec![
+            d.to_string(),
+            time(est.timing.frame_time()),
+            format!("{:.1}", est.timing.fps()),
+            paper.into(),
+        ]);
+    }
+    table(&["config", "frame time", "fps", "paper"], &rows);
+
+    section("Fig. 7c — Quantization workload (output payload)");
+    let raw_bits = sensor.bits_per_frame();
+    let mut rows = vec![vec![
+        "Image sensor".to_string(),
+        format!("{raw_bits}"),
+        format!("{:.1} kB", raw_bits as f64 / 8e3),
+        "100%".into(),
+    ]];
+    for (d, est) in &ests {
+        rows.push(vec![
+            d.to_string(),
+            format!("{}", est.readout_bits),
+            format!("{:.1} kB", est.readout_bits as f64 / 8e3),
+            pct(est.readout_bits as f64 / raw_bits as f64),
+        ]);
+    }
+    table(&["config", "bits/frame", "payload", "vs raw"], &rows);
+    println!("paper: 4-bit Depth1 output is \"nearly half of the image sensor's data size\"");
+}
+
+/// Fig. 8 — per-frame system energy on Jetson CPU / GPU / cloud-offload,
+/// with and without RedEye.
+pub fn fig8() {
+    let config = RedEyeConfig::default();
+    section("Fig. 8 — Per-frame system energy (Jetson TK1 / cloud-offload)");
+    let bars = scenario::fig8(&config);
+    let papers = ["1.7 J", "892 mJ", "406 mJ", "226 mJ", "130.5 mJ", "35 mJ"];
+    let rows: Vec<Vec<String>> = bars
+        .iter()
+        .zip(papers)
+        .map(|(bar, paper)| {
+            vec![
+                bar.name.clone(),
+                energy(bar.energy),
+                time(bar.latency),
+                format!("{:.2}", bar.pipelined_fps),
+                paper.to_string(),
+            ]
+        })
+        .collect();
+    table(
+        &[
+            "scenario",
+            "energy/frame",
+            "latency",
+            "pipelined fps",
+            "paper",
+        ],
+        &rows,
+    );
+    let cpu = scenario::reduction(bars[0].energy, bars[1].energy);
+    let gpu = scenario::reduction(bars[2].energy, bars[3].energy);
+    let cloud = scenario::reduction(bars[4].energy, bars[5].energy);
+    println!(
+        "reductions: CPU {} (paper 45.6%), GPU {} (paper 44.3%), cloudlet {} (paper 73.2%)",
+        pct(cpu),
+        pct(gpu),
+        pct(cloud)
+    );
+}
+
+/// Shared accuracy sweep: returns `(top1, top5)` of the trained stand-in at
+/// one (SNR, bits) point over `n` validation images.
+fn accuracy_at(
+    model: &workload::TrainedModel,
+    snr_db: f64,
+    bits: u32,
+    n: usize,
+    threads: usize,
+) -> (f32, f32) {
+    let harness = AccuracyHarness::new(workload::validation_set(n, 11), threads);
+    let report = harness
+        .evaluate(|worker| {
+            let opts = InstrumentOptions {
+                snr: SnrDb::new(snr_db),
+                adc_bits: bits,
+                seed: 31 + worker as u64,
+                ..InstrumentOptions::paper_default("pool3")
+            };
+            instrument(&model.spec, &model.params, &opts)
+        })
+        .expect("accuracy evaluation");
+    (report.top1, report.top5)
+}
+
+/// Fig. 9 — accuracy (dashed) and ConvNet-processing energy (solid) versus
+/// Gaussian SNR at 4-bit quantization.
+///
+/// `n` validation images (paper: N = 2500); `threads` evaluation workers.
+pub fn fig9(model: &workload::TrainedModel, n: usize, threads: usize) {
+    section("Fig. 9 — Accuracy & processing energy vs Gaussian SNR (4-bit ADC)");
+    println!(
+        "stand-in model: micronet trained in-repo (clean top-1 {:.2}); energy: GoogLeNet Depth5",
+        model.clean_top1
+    );
+    let mut rows = Vec::new();
+    for snr in [
+        0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 40.0, 50.0, 60.0, 70.0,
+    ] {
+        let (top1, top5) = accuracy_at(model, snr, 4, n, threads);
+        let config = RedEyeConfig {
+            snr: SnrDb::new(snr),
+            ..RedEyeConfig::default()
+        };
+        let est = estimate::estimate_depth(Depth::D5, &config).expect("estimate");
+        rows.push(vec![
+            format!("{snr:.0}"),
+            format!("{top1:.3}"),
+            format!("{top5:.3}"),
+            energy(est.energy.processing),
+        ]);
+    }
+    table(&["SNR (dB)", "top-1", "top-5", "processing energy"], &rows);
+    println!(
+        "paper: GoogLeNet top-5 stays ~89% down to 40 dB; degrades below ~30 dB; energy ×10 per +10 dB"
+    );
+}
+
+/// Fig. 10 — accuracy (dashed) and quantization energy (solid) versus ADC
+/// resolution at 40 dB Gaussian SNR.
+pub fn fig10(model: &workload::TrainedModel, n: usize, threads: usize) {
+    section("Fig. 10 — Accuracy & quantization energy vs ADC resolution (40 dB)");
+    let mut rows = Vec::new();
+    for bits in 1..=10u32 {
+        let (top1, top5) = accuracy_at(model, 40.0, bits, n, threads);
+        let config = RedEyeConfig {
+            adc_bits: bits,
+            ..RedEyeConfig::default()
+        };
+        let est = estimate::estimate_depth(Depth::D5, &config).expect("estimate");
+        rows.push(vec![
+            format!("{bits}"),
+            format!("{:.1}", 6.02 * f64::from(bits)),
+            format!("{top1:.3}"),
+            format!("{top5:.3}"),
+            energy(est.energy.quantization),
+        ]);
+    }
+    table(
+        &[
+            "bits",
+            "quant SNR (dB)",
+            "top-1",
+            "top-5",
+            "quantization energy",
+        ],
+        &rows,
+    );
+    println!("paper: 4–6 bits retain high accuracy for all depths; energy doubles per bit");
+}
+
+/// Table I — operation modes and Depth5 energy per frame.
+pub fn table1() {
+    section("Table I — RedEye operation modes (Depth5)");
+    let rows: Vec<Vec<String>> = [
+        ("High-efficiency", 40.0, "10 fF", "1.4 mJ"),
+        ("Moderate", 50.0, "100 fF", "14 mJ"),
+        ("High-fidelity", 60.0, "1 pF", "140 mJ"),
+    ]
+    .iter()
+    .map(|(mode, snr, cap_paper, e_paper)| {
+        let config = RedEyeConfig {
+            snr: SnrDb::new(*snr),
+            ..RedEyeConfig::default()
+        };
+        let damping = redeye_analog::DampingConfig::from_snr(SnrDb::new(*snr));
+        let est = estimate::estimate_depth(Depth::D5, &config).expect("estimate");
+        vec![
+            mode.to_string(),
+            format!("{snr:.0} dB"),
+            format!("{}", damping.capacitance()),
+            cap_paper.to_string(),
+            energy(est.energy.analog_total()),
+            e_paper.to_string(),
+        ]
+    })
+    .collect();
+    table(
+        &["mode", "SNR", "cap", "paper cap", "energy/frame", "paper"],
+        &rows,
+    );
+}
+
+/// §V-B / §V-D headlines: sensor reduction, ShiDianNao, controller, area.
+pub fn headline() {
+    let config = RedEyeConfig::default();
+    section("§V-B headline — sensor energy reduction");
+    let sensor = ImageSensor::paper_baseline();
+    let d1 = estimate::estimate_depth(Depth::D1, &config).expect("estimate");
+    println!(
+        "image sensor {} vs RedEye Depth1 {} → reduction {} (paper: 1.1 mJ → 0.17 mJ, 84.5%)",
+        energy(sensor.analog_energy_per_frame()),
+        energy(d1.energy.analog_total()),
+        pct(scenario::sensor_energy_reduction(&config)),
+    );
+
+    section("§V-B — ShiDianNao comparison (7 conv layers, Depth4)");
+    let (sdn, redeye, r) = scenario::shidiannao_comparison(&config);
+    let sdn_model = ShiDianNao::paper_configuration();
+    println!(
+        "ShiDianNao+sensor {} ({} patches) vs RedEye Depth4 {} → reduction {} (paper: 3.2 mJ vs 1.3 mJ, 59%)",
+        energy(sdn),
+        sdn_model.patch_instances(),
+        energy(redeye),
+        pct(r),
+    );
+
+    section("§V-B — Jetson TK1 host model fit");
+    for kind in [JetsonKind::Gpu, JetsonKind::Cpu] {
+        let host = JetsonHost::fit(kind);
+        let full = host.run_googlenet_full();
+        let rem = host.run_googlenet_suffix(Depth::D5);
+        println!(
+            "{kind:?}: full GoogLeNet {} / {} — after Depth5 {} / {}",
+            time(full.time),
+            energy(full.energy),
+            time(rem.time),
+            energy(rem.energy),
+        );
+    }
+
+    section("§V-D — controller & silicon area");
+    println!(
+        "controller: {:.1} mW at 250 MHz (paper: ~12 mW), {} per 30-fps frame (paper: 0.4 mJ)",
+        estimate::controller_power().value() * 1e3,
+        energy(estimate::controller_power() * redeye_analog::Seconds::new(1.0 / 30.0)),
+    );
+    let a = AreaEstimate::paper_design();
+    println!(
+        "area: {} columns × 0.225 mm², controller {:.1} mm², pixel array {:.2} mm², die {:.1} mm² (10.2×5.0), {} interconnects",
+        a.columns, a.controller_mm2, a.pixel_array_mm2, a.die_mm2, a.interconnects,
+    );
+
+    section("§V-D-1 — 3-D stacking (multi-task module)");
+    let stack = redeye_core::stacking::RedEyeStack::new()
+        .with_task(
+            "classification (Depth5)",
+            estimate::estimate_depth(Depth::D5, &config).expect("estimate"),
+        )
+        .with_task(
+            "wake-gating (Depth1)",
+            estimate::estimate_depth(Depth::D1, &config).expect("estimate"),
+        )
+        .with_full_image_layer();
+    let (footprint, volume) = stack.area();
+    println!(
+        "{} layers ({:?} + full-image): {} per frame, {} frame clock,          footprint {footprint:.1} mm² (unchanged), silicon {volume:.1} mm²",
+        stack.layers(),
+        stack.task_names(),
+        energy(stack.frame_energy()),
+        time(stack.frame_time()),
+    );
+}
+
+/// §IV-A ablation — charge-sharing tunable capacitor vs the naïve
+/// binary-weighted DAC.
+pub fn ablation() {
+    section("§IV-A ablation — charge-sharing weight DAC");
+    let rows: Vec<Vec<String>> = [2u32, 4, 6, 8, 10, 12]
+        .iter()
+        .map(|&bits| {
+            let tc = TunableCap::new(bits).expect("valid width");
+            let avg_energy: Joules = (0..1u32 << bits)
+                .map(|code| tc.sampling_energy(code))
+                .sum::<Joules>()
+                / f64::from(1u32 << bits);
+            vec![
+                bits.to_string(),
+                format!("{}", 2u64.pow(bits) - 1),
+                bits.to_string(),
+                format!("{:.1}x", tc.capacitor_reduction_factor()),
+                energy(avg_energy),
+                energy(tc.naive_sampling_energy()),
+            ]
+        })
+        .collect();
+    table(
+        &[
+            "bits",
+            "naive caps",
+            "charge-share caps",
+            "cap reduction",
+            "avg sampling energy",
+            "naive energy",
+        ],
+        &rows,
+    );
+    println!("paper: \"for the 8-bit MAC, this reduces energy by a factor of 32\"");
+}
+
+/// AlexNet partition sweep — the paper evaluated AlexNet "with similar
+/// findings" (§V-A). Five analog-executable cuts, same metrics as Fig. 7.
+pub fn alexnet() {
+    section("AlexNet partitions (paper: \"similar findings\" to GoogLeNet)");
+    let spec = zoo::alexnet();
+    let config = RedEyeConfig::default();
+    let sensor = ImageSensor::paper_baseline();
+    let raw_bits = sensor.bits_per_frame();
+    let cuts = ["pool1", "pool2", "conv3", "conv4", "pool5"];
+    let mut rows = vec![vec![
+        "Image sensor".to_string(),
+        "-".into(),
+        energy(sensor.analog_energy_per_frame()),
+        time(sensor.frame_time()),
+        "100%".into(),
+    ]];
+    for (i, cut) in cuts.iter().enumerate() {
+        let est =
+            estimate::estimate_spec_prefix(&spec, cut, &config).expect("alexnet cut estimates");
+        rows.push(vec![
+            format!("Depth{} ({cut})", i + 1),
+            format!("{:.0} M MACs", est.energy.macs as f64 / 1e6),
+            energy(est.energy.analog_total()),
+            time(est.timing.frame_time()),
+            pct(est.readout_bits as f64 / raw_bits as f64),
+        ]);
+    }
+    table(
+        &[
+            "config",
+            "workload",
+            "analog energy",
+            "frame time",
+            "payload vs raw",
+        ],
+        &rows,
+    );
+    println!(
+        "shape check: shallow cuts beat the 1.1 mJ sensor; processing grows with depth; \
+         payload shrinks well below the raw frame — the same findings as GoogLeNet."
+    );
+}
+
+/// §VII future work — *situational noise scaling*: "using RedEye in a 1 lux
+/// environment would reduce the lower limit of the RedEye SNR range to
+/// 25 dB. Dynamically scaling RedEye noise enables operation in poorly lit
+/// environments, at the cost of higher energy consumption."
+///
+/// The photodiode is shot-noise limited: SNR_photon ≈ 10·log10(electrons).
+/// There is no point damping analog noise far below the photon floor, so
+/// the energy-optimal analog SNR tracks illuminance.
+pub fn lowlight() {
+    section("§VII — Situational noise scaling (illuminance → SNR floor → energy)");
+    // Electron budget scaled so 1 lux ≈ 316 e⁻ ≈ 25 dB, the paper's figure.
+    let electrons_per_lux = 316.0f64;
+    let mut rows = Vec::new();
+    for lux in [0.1f64, 1.0, 10.0, 100.0, 1000.0] {
+        let electrons = electrons_per_lux * lux;
+        let photon_snr = 10.0 * electrons.log10();
+        // Damping below the photon floor is wasted energy; above 40 dB is
+        // wasted fidelity (Fig. 9). Clamp into the design range 25–60 dB.
+        let analog_snr = photon_snr.clamp(25.0, 40.0);
+        let config = RedEyeConfig {
+            snr: SnrDb::new(analog_snr),
+            ..RedEyeConfig::default()
+        };
+        let est = estimate::estimate_depth(Depth::D5, &config).expect("estimate");
+        rows.push(vec![
+            format!("{lux}"),
+            format!("{:.0}", electrons),
+            format!("{photon_snr:.1}"),
+            format!("{analog_snr:.1}"),
+            energy(est.energy.analog_total()),
+        ]);
+    }
+    table(
+        &[
+            "illuminance (lux)",
+            "electrons/px",
+            "photon SNR (dB)",
+            "analog SNR (dB)",
+            "Depth5 energy",
+        ],
+        &rows,
+    );
+    println!(
+        "paper: at 1 lux the SNR floor drops to 25 dB — matching the photon budget row; \
+         brighter scenes cap at the 40 dB operating point."
+    );
+}

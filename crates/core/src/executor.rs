@@ -1,0 +1,642 @@
+//! The functional noisy executor: runs real images through a RedEye
+//! [`Program`] using the analog behavioral models.
+//!
+//! Where the analytic estimator (see [`crate::estimate`]) charges energy and
+//! time from operation counts, the executor also produces *data*: the noisy,
+//! clipped, quantized feature tensor the digital host would receive. It is
+//! the engine behind the accuracy-vs-noise experiments and behind fidelity
+//! tests comparing analog output against the digital reference network.
+//!
+//! Noise semantics follow the paper's simulation framework (§III-D): each
+//! convolutional/normalization layer output receives Gaussian noise at the
+//! layer's programmed SNR (relative to the layer's signal power — the
+//! aggregate equivalent of one damped-node sample per MAC output); max
+//! pooling runs through the dynamic-comparator model with metastability
+//! forcing; and the readout is a bit-accurate SAR conversion.
+
+use crate::{CoreError, EnergyLedger, Instruction, Program, Result};
+use redeye_analog::calib::{
+    COMPARATOR_DECISION_TIME, MAC_ENERGY_40DB, MAC_SETTLE_TIME_40DB, MEMORY_WRITE_ENERGY_40DB,
+    SWING,
+};
+use redeye_analog::{Comparator, DampingConfig, SarAdc, Seconds, SnrDb};
+use redeye_tensor::{im2col, matmul, ConvGeom, PoolGeom, Rng, Tensor};
+
+/// Result of executing one frame.
+#[derive(Debug, Clone)]
+pub struct ExecutionResult {
+    /// The dequantized features the host receives (same scale as the
+    /// digital network's activations).
+    pub features: Tensor,
+    /// Raw ADC codes, row-major over the feature tensor.
+    pub codes: Vec<u32>,
+    /// Itemized energy charged during execution.
+    pub ledger: EnergyLedger,
+    /// Frame time under column parallelism.
+    pub elapsed: Seconds,
+    /// Comparator decisions that were forced by the metastability timeout.
+    pub forced_decisions: u64,
+}
+
+/// The RedEye functional executor.
+///
+/// Holds the program, a seeded RNG (all noise is reproducible), and the
+/// module models it reuses cyclically across layers — mirroring the
+/// physical module reuse of §III-B.
+///
+/// # Example
+///
+/// ```
+/// use redeye_core::{compile, CompileOptions, Executor, WeightBank};
+/// use redeye_nn::{build_network, zoo, WeightInit};
+/// use redeye_tensor::{Rng, Tensor};
+///
+/// # fn main() -> Result<(), redeye_core::CoreError> {
+/// let spec = zoo::micronet(4, 10);
+/// let prefix = spec.prefix_through("pool1").expect("micronet has pool1");
+/// let mut rng = Rng::seed_from(1);
+/// let mut net = build_network(&prefix, WeightInit::HeNormal, &mut rng)?;
+/// let mut bank = WeightBank::from_network(&mut net);
+/// let program = compile(&prefix, &mut bank, &CompileOptions::default())?;
+///
+/// let mut executor = Executor::new(program, 42);
+/// let result = executor.execute(&Tensor::full(&[3, 32, 32], 0.5))?;
+/// assert_eq!(result.features.dims(), &[4, 16, 16]);
+/// assert!(result.ledger.analog_total().value() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Executor {
+    program: Program,
+    rng: Rng,
+    comparator: Comparator,
+    /// Number of column slices available for this program's sensor array.
+    columns: f64,
+}
+
+impl Executor {
+    /// Creates an executor for `program`, seeding all stochastic behaviour
+    /// from `seed`.
+    pub fn new(program: Program, seed: u64) -> Self {
+        let columns = program.input[2].max(1) as f64;
+        Executor {
+            program,
+            rng: Rng::seed_from(seed),
+            comparator: Comparator::new(),
+            columns,
+        }
+    }
+
+    /// The loaded program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Executes one captured frame through the analog pipeline and the
+    /// quantization module.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadProgram`] if the input shape does not match
+    /// the program, or wraps shape errors from a corrupt program.
+    pub fn execute(&mut self, input: &Tensor) -> Result<ExecutionResult> {
+        if input.dims() != self.program.input {
+            return Err(CoreError::BadProgram {
+                reason: format!(
+                    "input shape {:?} does not match program input {:?}",
+                    input.dims(),
+                    self.program.input
+                ),
+            });
+        }
+        let mut ledger = EnergyLedger::new();
+        let mut elapsed = Seconds::zero();
+        let instructions = self.program.instructions.clone();
+        let mut x = input.clone();
+        for inst in &instructions {
+            x = self.run_instruction(inst, &x, &mut ledger, &mut elapsed)?;
+        }
+        let (features, codes) = self.quantize(&x, &mut ledger, &mut elapsed)?;
+        ledger.controller = crate::estimate::controller_power() * elapsed;
+        Ok(ExecutionResult {
+            features,
+            codes,
+            forced_decisions: self.comparator.forced_decisions(),
+            ledger,
+            elapsed,
+        })
+    }
+
+    fn run_instruction(
+        &mut self,
+        inst: &Instruction,
+        x: &Tensor,
+        ledger: &mut EnergyLedger,
+        elapsed: &mut Seconds,
+    ) -> Result<Tensor> {
+        match inst {
+            Instruction::Conv {
+                name,
+                out_c,
+                kernel,
+                stride,
+                pad,
+                relu,
+                codes,
+                scale,
+                bias,
+                snr,
+            } => {
+                let dims = x.dims();
+                if dims.len() != 3 {
+                    return Err(CoreError::BadProgram {
+                        reason: format!("conv `{name}` input must be CxHxW, got {dims:?}"),
+                    });
+                }
+                let geom =
+                    ConvGeom::new(dims[0], dims[1], dims[2], *kernel, *kernel, *stride, *pad)?;
+                let patch = geom.patch_len();
+                if codes.len() != out_c * patch || bias.len() != *out_c {
+                    return Err(CoreError::BadProgram {
+                        reason: format!("conv `{name}` weight dims inconsistent"),
+                    });
+                }
+                // Reconstruct the DAC-applied weights and run the ideal MAC
+                // array as a matrix product (each output is one damped node).
+                let weights = Tensor::from_vec(
+                    codes.iter().map(|&c| c as f32 * scale).collect(),
+                    &[*out_c, patch],
+                )?;
+                let cols = im2col(x, &geom)?;
+                let mut out = matmul(&weights, &cols)?;
+                let positions = geom.out_positions();
+                for (oc, &b) in bias.iter().enumerate() {
+                    for v in &mut out.as_mut_slice()[oc * positions..(oc + 1) * positions] {
+                        *v += b;
+                    }
+                }
+                let out = self.add_layer_noise(out, *snr);
+                let out = clip_and_rectify(out, *relu);
+
+                let macs = geom.macs(*out_c);
+                self.charge_macs(ledger, elapsed, macs, *snr);
+                self.charge_writes(ledger, out.len() as u64, *snr);
+                Ok(out.into_reshaped(&[*out_c, geom.out_h(), geom.out_w()])?)
+            }
+            Instruction::MaxPool {
+                name,
+                window,
+                stride,
+                pad,
+            } => {
+                let dims = x.dims();
+                if dims.len() != 3 {
+                    return Err(CoreError::BadProgram {
+                        reason: format!("pool `{name}` input must be CxHxW, got {dims:?}"),
+                    });
+                }
+                let geom = PoolGeom::new(dims[0], dims[1], dims[2], *window, *stride, *pad)?;
+                let out = self.comparator_maxpool(x, &geom, ledger, elapsed);
+                self.charge_writes(ledger, out.len() as u64, SnrDb::new(40.0));
+                Ok(out)
+            }
+            Instruction::AvgPool {
+                name,
+                window,
+                stride,
+                pad,
+                snr,
+            } => {
+                let dims = x.dims();
+                if dims.len() != 3 {
+                    return Err(CoreError::BadProgram {
+                        reason: format!("pool `{name}` input must be CxHxW, got {dims:?}"),
+                    });
+                }
+                let geom = PoolGeom::new(dims[0], dims[1], dims[2], *window, *stride, *pad)?;
+                let out = average_pool(x, &geom);
+                let out = self.add_layer_noise(out, *snr);
+                let macs = out.len() as u64 * (*window * *window) as u64;
+                self.charge_macs(ledger, elapsed, macs, *snr);
+                self.charge_writes(ledger, out.len() as u64, *snr);
+                Ok(out)
+            }
+            Instruction::Lrn {
+                size,
+                alpha,
+                beta,
+                k,
+                snr,
+                ..
+            } => {
+                let out = lrn(x, *size, *alpha, *beta, *k)?;
+                let out = self.add_layer_noise(out, *snr);
+                let macs = out.len() as u64 * (*size as u64 + 1);
+                self.charge_macs(ledger, elapsed, macs, *snr);
+                self.charge_writes(ledger, out.len() as u64, *snr);
+                Ok(out)
+            }
+            Instruction::Inception { branches, .. } => {
+                let mut outs = Vec::with_capacity(branches.len());
+                for branch in branches {
+                    let mut bx = x.clone();
+                    for inst in branch {
+                        bx = self.run_instruction(inst, &bx, ledger, elapsed)?;
+                    }
+                    outs.push(bx);
+                }
+                concat_channels(&outs)
+            }
+        }
+    }
+
+    /// Adds the layer-SNR Gaussian noise of the paper's Gaussian Noise
+    /// Layer: σ = signal_rms / 10^(SNR/20).
+    fn add_layer_noise(&mut self, mut out: Tensor, snr: SnrDb) -> Tensor {
+        let rms = out.power().map(f32::sqrt).unwrap_or(0.0);
+        if rms > 0.0 {
+            let sigma = rms / snr.amplitude_ratio() as f32;
+            for v in out.iter_mut() {
+                *v += sigma * self.rng.standard_normal();
+            }
+        }
+        out
+    }
+
+    fn charge_macs(&self, ledger: &mut EnergyLedger, elapsed: &mut Seconds, macs: u64, snr: SnrDb) {
+        let scale = DampingConfig::from_snr(snr).energy_scale();
+        ledger.processing += MAC_ENERGY_40DB * (macs as f64 * scale);
+        ledger.macs += macs;
+        *elapsed += MAC_SETTLE_TIME_40DB * (macs as f64 / self.columns);
+    }
+
+    fn charge_writes(&self, ledger: &mut EnergyLedger, writes: u64, snr: SnrDb) {
+        let scale = DampingConfig::from_snr(snr).energy_scale();
+        ledger.memory += MEMORY_WRITE_ENERGY_40DB * (writes as f64 * scale);
+        ledger.writes += writes;
+    }
+
+    /// Max pooling through the dynamic comparator, with real forced
+    /// decisions under metastability.
+    fn comparator_maxpool(
+        &mut self,
+        x: &Tensor,
+        geom: &PoolGeom,
+        ledger: &mut EnergyLedger,
+        elapsed: &mut Seconds,
+    ) -> Tensor {
+        // Gain staging: map the plane's max magnitude to the rail swing.
+        let max_abs = x.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let volts_per_unit = if max_abs > 0.0 {
+            SWING.value() / f64::from(max_abs)
+        } else {
+            1.0
+        };
+        let (in_h, in_w) = (geom.in_h(), geom.in_w());
+        let src = x.as_slice();
+        let mut out = Vec::with_capacity(geom.out_len());
+        let energy_before = self.comparator.energy_consumed();
+        let decisions_before = self.comparator.decisions_made();
+        for c in 0..geom.channels() {
+            let plane = c * in_h * in_w;
+            for oy in 0..geom.out_h() {
+                for ox in 0..geom.out_w() {
+                    // The column pipeline runs a fixed comparison schedule:
+                    // every window tap is compared, with out-of-bounds
+                    // (padding) taps presenting the lower rail. This keeps
+                    // the per-output decision count at window²−1 regardless
+                    // of border effects, matching the analytic model.
+                    let mut best: Option<f32> = None;
+                    for ky in 0..geom.window() {
+                        for kx in 0..geom.window() {
+                            let y = (oy * geom.stride() + ky) as isize - geom.pad() as isize;
+                            let xx = (ox * geom.stride() + kx) as isize - geom.pad() as isize;
+                            let v = if y < 0 || y >= in_h as isize || xx < 0 || xx >= in_w as isize
+                            {
+                                -max_abs
+                            } else {
+                                src[plane + y as usize * in_w + xx as usize]
+                            };
+                            best = Some(match best {
+                                None => v,
+                                Some(m) => {
+                                    let d = self.comparator.compare(
+                                        f64::from(v) * volts_per_unit,
+                                        f64::from(m) * volts_per_unit,
+                                        &mut self.rng,
+                                    );
+                                    if d.a_greater {
+                                        v
+                                    } else {
+                                        m
+                                    }
+                                }
+                            });
+                        }
+                    }
+                    out.push(best.unwrap_or(0.0));
+                }
+            }
+        }
+        let decisions = self.comparator.decisions_made() - decisions_before;
+        ledger.pooling += self.comparator.energy_consumed() - energy_before;
+        ledger.comparisons += decisions;
+        *elapsed += COMPARATOR_DECISION_TIME * (decisions as f64 / self.columns);
+        Tensor::from_vec(out, &[geom.channels(), geom.out_h(), geom.out_w()])
+            .expect("pool output volume")
+    }
+
+    /// The quantization module: normalizes features to the ADC full scale,
+    /// converts each through the bit-accurate SAR model, and returns the
+    /// dequantized host-domain tensor plus the raw codes.
+    fn quantize(
+        &mut self,
+        x: &Tensor,
+        ledger: &mut EnergyLedger,
+        elapsed: &mut Seconds,
+    ) -> Result<(Tensor, Vec<u32>)> {
+        let bits = self.program.adc_bits;
+        let mut adc = SarAdc::new(bits)?;
+        // Gain staging: features (post-rectification, ≥ 0) map onto the ADC
+        // full scale; negative residues clip at the lower rail.
+        let vmax = x.iter().fold(0.0f32, |m, &v| m.max(v));
+        let full_scale = if vmax > 0.0 { f64::from(vmax) } else { 1.0 };
+        let mut codes = Vec::with_capacity(x.len());
+        let mut deq = Vec::with_capacity(x.len());
+        for &v in x.iter() {
+            let conv = adc.convert(f64::from(v.max(0.0)) / full_scale, &mut self.rng);
+            codes.push(conv.code);
+            deq.push((conv.reconstruct() * full_scale) as f32);
+        }
+        ledger.quantization += adc.energy_consumed();
+        ledger.conversions += adc.conversions_performed();
+        ledger.readout_bits += adc.conversions_performed() * u64::from(bits);
+        *elapsed += adc.time_per_conversion() * (x.len() as f64 / self.columns);
+        Ok((Tensor::from_vec(deq, x.dims())?, codes))
+    }
+}
+
+/// Clips at the positive rail (max observed swing under unity gain staging)
+/// and rectifies at zero when the layer fuses a ReLU.
+fn clip_and_rectify(mut out: Tensor, relu: bool) -> Tensor {
+    let top = out.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+    for v in out.iter_mut() {
+        if relu && *v < 0.0 {
+            *v = 0.0;
+        }
+        if *v > top {
+            *v = top;
+        }
+        if *v < -top {
+            *v = -top;
+        }
+    }
+    out
+}
+
+fn average_pool(x: &Tensor, geom: &PoolGeom) -> Tensor {
+    let (in_h, in_w) = (geom.in_h(), geom.in_w());
+    let src = x.as_slice();
+    let mut out = Vec::with_capacity(geom.out_len());
+    for c in 0..geom.channels() {
+        let plane = c * in_h * in_w;
+        for oy in 0..geom.out_h() {
+            for ox in 0..geom.out_w() {
+                let mut acc = 0.0f32;
+                let mut count = 0usize;
+                for ky in 0..geom.window() {
+                    for kx in 0..geom.window() {
+                        let y = (oy * geom.stride() + ky) as isize - geom.pad() as isize;
+                        let xx = (ox * geom.stride() + kx) as isize - geom.pad() as isize;
+                        if y >= 0 && y < in_h as isize && xx >= 0 && xx < in_w as isize {
+                            acc += src[plane + y as usize * in_w + xx as usize];
+                            count += 1;
+                        }
+                    }
+                }
+                out.push(if count > 0 { acc / count as f32 } else { 0.0 });
+            }
+        }
+    }
+    Tensor::from_vec(out, &[geom.channels(), geom.out_h(), geom.out_w()])
+        .expect("pool output volume")
+}
+
+fn lrn(x: &Tensor, size: usize, alpha: f32, beta: f32, k: f32) -> Result<Tensor> {
+    let dims = x.dims();
+    if dims.len() != 3 {
+        return Err(CoreError::BadProgram {
+            reason: format!("LRN input must be CxHxW, got {dims:?}"),
+        });
+    }
+    let (c, h, w) = (dims[0], dims[1], dims[2]);
+    let half = size / 2;
+    let plane = h * w;
+    let src = x.as_slice();
+    let mut out = vec![0.0f32; c * plane];
+    for ci in 0..c {
+        let lo = ci.saturating_sub(half);
+        let hi = (ci + half).min(c - 1);
+        for p in 0..plane {
+            let mut acc = 0.0f32;
+            for cj in lo..=hi {
+                let v = src[cj * plane + p];
+                acc += v * v;
+            }
+            let denom = k + alpha / size as f32 * acc;
+            out[ci * plane + p] = src[ci * plane + p] * denom.powf(-beta);
+        }
+    }
+    Ok(Tensor::from_vec(out, dims)?)
+}
+
+fn concat_channels(parts: &[Tensor]) -> Result<Tensor> {
+    let first = parts.first().ok_or(CoreError::BadProgram {
+        reason: "inception with zero branches".into(),
+    })?;
+    let (h, w) = (first.dims()[1], first.dims()[2]);
+    let mut total_c = 0usize;
+    let mut data = Vec::new();
+    for p in parts {
+        let d = p.dims();
+        if d.len() != 3 || d[1] != h || d[2] != w {
+            return Err(CoreError::BadProgram {
+                reason: format!("inception branch output {d:?} incompatible with {h}x{w}"),
+            });
+        }
+        total_c += d[0];
+        data.extend_from_slice(p.as_slice());
+    }
+    Ok(Tensor::from_vec(data, &[total_c, h, w])?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile, CompileOptions, WeightBank};
+    use redeye_nn::{build_network, quantize_network_weights, zoo, WeightInit};
+
+    /// Builds a micronet prefix program plus the matching digital reference
+    /// network (with identically quantized weights).
+    fn micronet_program(snr_db: f64, adc_bits: u32) -> (Program, redeye_nn::Network) {
+        let spec = zoo::micronet(8, 10);
+        let prefix = spec.prefix_through("pool3").unwrap();
+        let mut rng = Rng::seed_from(17);
+        let mut reference = build_network(&prefix, WeightInit::HeNormal, &mut rng).unwrap();
+        let mut bank = WeightBank::from_network(&mut reference);
+        let opts = CompileOptions {
+            weight_bits: 8,
+            snr: SnrDb::new(snr_db),
+            adc_bits,
+        };
+        let program = compile(&prefix, &mut bank, &opts).unwrap();
+        // Quantize the reference identically so both paths share weights.
+        quantize_network_weights(&mut reference, 8);
+        (program, reference)
+    }
+
+    #[test]
+    fn high_snr_matches_digital_reference() {
+        let (program, mut reference) = micronet_program(100.0, 10);
+        let mut exec = Executor::new(program, 5);
+        let mut rng = Rng::seed_from(6);
+        let input = Tensor::uniform(&[3, 32, 32], 0.0, 1.0, &mut rng);
+        let analog = exec.execute(&input).unwrap();
+        let digital = reference.forward(&input).unwrap();
+        let rel =
+            analog.features.rms_error(&digital).unwrap() / (digital.power().unwrap().sqrt() + 1e-9);
+        assert!(
+            rel < 0.02,
+            "analog-vs-digital relative error {rel} at 100 dB / 10-bit"
+        );
+    }
+
+    #[test]
+    fn low_snr_degrades_fidelity() {
+        let run = |snr: f64| {
+            let (program, mut reference) = micronet_program(snr, 10);
+            let mut exec = Executor::new(program, 5);
+            let mut rng = Rng::seed_from(6);
+            let input = Tensor::uniform(&[3, 32, 32], 0.0, 1.0, &mut rng);
+            let analog = exec.execute(&input).unwrap();
+            let digital = reference.forward(&input).unwrap();
+            analog.features.rms_error(&digital).unwrap()
+        };
+        assert!(run(20.0) > 3.0 * run(60.0));
+    }
+
+    #[test]
+    fn energy_ledger_matches_analytic_counts() {
+        let (program, _) = micronet_program(40.0, 4);
+        let spec = zoo::micronet(8, 10);
+        let summary = redeye_nn::summarize(&spec).unwrap();
+        let totals = summary.prefix_totals("pool3").unwrap();
+        let mut exec = Executor::new(program, 7);
+        let input = Tensor::full(&[3, 32, 32], 0.5);
+        let result = exec.execute(&input).unwrap();
+        assert_eq!(result.ledger.macs, totals.macs);
+        assert_eq!(result.ledger.comparisons, totals.comparisons);
+        assert_eq!(result.ledger.conversions, totals.out_len);
+        assert_eq!(
+            result.ledger.readout_bits,
+            totals.out_len * 4,
+            "4-bit readout"
+        );
+    }
+
+    #[test]
+    fn quantization_bits_bound_codes() {
+        let (program, _) = micronet_program(40.0, 3);
+        let mut exec = Executor::new(program, 8);
+        let input = Tensor::full(&[3, 32, 32], 0.5);
+        let result = exec.execute(&input).unwrap();
+        assert!(result.codes.iter().all(|&c| c < 8));
+    }
+
+    #[test]
+    fn wrong_input_shape_rejected() {
+        let (program, _) = micronet_program(40.0, 4);
+        let mut exec = Executor::new(program, 9);
+        assert!(exec.execute(&Tensor::zeros(&[3, 16, 16])).is_err());
+    }
+
+    #[test]
+    fn execution_is_reproducible_per_seed() {
+        let (program, _) = micronet_program(40.0, 4);
+        let input = Tensor::full(&[3, 32, 32], 0.5);
+        let a = Executor::new(program.clone(), 42).execute(&input).unwrap();
+        let b = Executor::new(program, 42).execute(&input).unwrap();
+        assert_eq!(a.features, b.features);
+        assert_eq!(a.codes, b.codes);
+    }
+
+    #[test]
+    fn avgpool_instruction_executes() {
+        // An ad-hoc program exercising the average-pool path (GoogLeNet's
+        // global pool lives on the host in the paper's cuts, but the module
+        // supports it).
+        let program = Program::new(
+            "avg",
+            [2, 4, 4],
+            vec![Instruction::AvgPool {
+                name: "ga".into(),
+                window: 4,
+                stride: 1,
+                pad: 0,
+                snr: SnrDb::new(90.0),
+            }],
+            8,
+        );
+        let mut exec = Executor::new(program, 1);
+        let mut data = vec![1.0f32; 16];
+        data.extend(vec![3.0f32; 16]);
+        let input = Tensor::from_vec(data, &[2, 4, 4]).unwrap();
+        let result = exec.execute(&input).unwrap();
+        assert_eq!(result.features.dims(), &[2, 1, 1]);
+        // Channel means 1.0 and 3.0 survive (within quantization + noise).
+        assert!((result.features.at(&[0, 0, 0]).unwrap() - 1.0).abs() < 0.2);
+        assert!((result.features.at(&[1, 0, 0]).unwrap() - 3.0).abs() < 0.2);
+        assert!(result.ledger.macs > 0, "avg pool charges MAC energy");
+    }
+
+    #[test]
+    fn forced_decisions_counted_on_flat_planes() {
+        // A perfectly flat plane makes every comparator decision a tie;
+        // noise resolves most, but the counter plumbing must work end to
+        // end and the result must still equal the flat value.
+        let program = Program::new(
+            "flat",
+            [1, 8, 8],
+            vec![Instruction::MaxPool {
+                name: "p".into(),
+                window: 2,
+                stride: 2,
+                pad: 0,
+            }],
+            8,
+        );
+        let mut exec = Executor::new(program, 2);
+        let input = Tensor::full(&[1, 8, 8], 0.5);
+        let result = exec.execute(&input).unwrap();
+        for v in result.features.iter() {
+            assert!((v - 0.5).abs() < 0.05, "flat max stays flat: {v}");
+        }
+    }
+
+    #[test]
+    fn inception_program_executes() {
+        let spec = zoo::tiny_inception(10);
+        let prefix = spec.prefix_through("pool2").unwrap();
+        let mut rng = Rng::seed_from(21);
+        let mut net = build_network(&prefix, WeightInit::HeNormal, &mut rng).unwrap();
+        let mut bank = WeightBank::from_network(&mut net);
+        let program = compile(&prefix, &mut bank, &CompileOptions::default()).unwrap();
+        let mut exec = Executor::new(program, 3);
+        let input = Tensor::full(&[3, 32, 32], 0.3);
+        let result = exec.execute(&input).unwrap();
+        // inception_a output 40×16×16 pooled to 40×8×8.
+        assert_eq!(result.features.dims(), &[40, 8, 8]);
+        assert!(result.ledger.analog_total().value() > 0.0);
+    }
+}

@@ -1,0 +1,64 @@
+//! The RedEye analog in-sensor ConvNet architecture.
+//!
+//! This crate implements the paper's primary contribution: an image-sensor
+//! architecture that executes the early layers of a ConvNet *in the analog
+//! domain*, before the costly analog readout, exporting low-bit-depth
+//! digital features instead of raw pixels (§III).
+//!
+//! The pieces map one-to-one onto the paper:
+//!
+//! - [`Program`] / [`Instruction`] — the **ConvNet programming interface**
+//!   (§III-C): layer ordering, dimensions, 8-bit kernel weights, and per-layer
+//!   noise parameters, loaded into the program SRAM.
+//! - [`compile()`](compile()) — turns a partitioned [`redeye_nn::NetworkSpec`] prefix plus
+//!   trained weights into a RedEye program, quantizing kernels to the 8-bit
+//!   tunable-capacitor codes of §IV-A.
+//! - [`Executor`] — the **functional noisy executor**: runs real images
+//!   through the program using the `redeye-analog` behavioral models
+//!   (damped-node Gaussian noise, comparator max-pooling, bit-accurate SAR
+//!   quantization), producing features *and* an [`EnergyLedger`].
+//! - [`estimate`] — the **analytic estimator**: exact per-depth energy,
+//!   timing, and readout workloads for full-size networks (GoogLeNet at
+//!   227×227) from shape propagation alone; this is what regenerates the
+//!   paper's Figs. 7–10 and Table I.
+//! - [`Depth`] — the five GoogLeNet partition points of Fig. 6.
+//! - [`area`] — the §V-D silicon area model (column slices, SRAM, die).
+//!
+//! # Example
+//!
+//! ```
+//! use redeye_core::{estimate, Depth, RedEyeConfig};
+//!
+//! // Table I: Depth5 at 40 dB / 4-bit quantization ≈ 1.4 mJ per frame.
+//! let est = estimate::estimate_depth(Depth::D5, &RedEyeConfig::default()).unwrap();
+//! let mj = est.energy.analog_total().millis();
+//! assert!((1.2..1.6).contains(&mj), "Depth5 = {mj} mJ");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod compile;
+mod energy;
+mod error;
+pub mod estimate;
+mod executor;
+mod partition;
+mod program;
+pub mod rowsim;
+mod sram;
+pub mod stacking;
+pub mod topology;
+
+pub use compile::{compile, CompileOptions, WeightBank};
+pub use energy::EnergyLedger;
+pub use error::CoreError;
+pub use estimate::{EnergyBreakdown, Estimate, NoisePlan, RedEyeConfig, TimingBreakdown};
+pub use executor::{ExecutionResult, Executor};
+pub use partition::{partition_googlenet, Depth};
+pub use program::{Instruction, Program};
+pub use sram::{FeatureSram, ProgramSram, FEATURE_SRAM_BYTES, KERNEL_SRAM_BYTES, TOTAL_SRAM_BYTES};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;

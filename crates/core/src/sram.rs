@@ -1,0 +1,134 @@
+//! On-chip SRAM budgets (§V-D).
+//!
+//! "RedEye requires 100-kB memory to store features and 9-kB for kernels,
+//! which fit within the 128-kB on-chip SRAM."
+
+use crate::{CoreError, Program, Result};
+
+/// Total on-chip SRAM (bytes).
+pub const TOTAL_SRAM_BYTES: usize = 128 * 1024;
+
+/// Feature SRAM capacity (bytes).
+pub const FEATURE_SRAM_BYTES: usize = 100 * 1024;
+
+/// Kernel (program) SRAM capacity (bytes).
+pub const KERNEL_SRAM_BYTES: usize = 9 * 1024;
+
+/// The program SRAM: holds the instruction stream's kernel working set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgramSram {
+    capacity: usize,
+}
+
+impl ProgramSram {
+    /// Creates the paper's 9-kB kernel store.
+    pub fn new() -> Self {
+        ProgramSram {
+            capacity: KERNEL_SRAM_BYTES,
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Verifies that a program's kernel *working set* (the weights resident
+    /// while streaming, not the whole network) fits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::SramOverflow`] if it does not fit.
+    pub fn check(&self, program: &Program) -> Result<usize> {
+        let required = program.kernel_working_set_bytes();
+        if required > self.capacity {
+            return Err(CoreError::SramOverflow {
+                which: "program",
+                required,
+                capacity: self.capacity,
+            });
+        }
+        Ok(required)
+    }
+}
+
+impl Default for ProgramSram {
+    fn default() -> Self {
+        ProgramSram::new()
+    }
+}
+
+/// The feature SRAM: holds the quantized output features awaiting host
+/// retrieval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeatureSram {
+    capacity: usize,
+}
+
+impl FeatureSram {
+    /// Creates the paper's 100-kB feature store.
+    pub fn new() -> Self {
+        FeatureSram {
+            capacity: FEATURE_SRAM_BYTES,
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes needed to hold `values` features at `bits` each (bit-packed).
+    pub fn bytes_needed(values: u64, bits: u32) -> usize {
+        ((values * u64::from(bits)).div_ceil(8)) as usize
+    }
+
+    /// Verifies a feature payload fits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::SramOverflow`] if it does not fit.
+    pub fn check(&self, values: u64, bits: u32) -> Result<usize> {
+        let required = Self::bytes_needed(values, bits);
+        if required > self.capacity {
+            return Err(CoreError::SramOverflow {
+                which: "feature",
+                required,
+                capacity: self.capacity,
+            });
+        }
+        Ok(required)
+    }
+}
+
+impl Default for FeatureSram {
+    fn default() -> Self {
+        FeatureSram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgets_fit_total() {
+        let (f, k, t) = (FEATURE_SRAM_BYTES, KERNEL_SRAM_BYTES, TOTAL_SRAM_BYTES);
+        assert!(f + k <= t);
+    }
+
+    #[test]
+    fn feature_bytes_bit_packed() {
+        // 100,352 values (Depth5 output) at 4 bits = 50,176 B — fits easily.
+        assert_eq!(FeatureSram::bytes_needed(100_352, 4), 50_176);
+        assert!(FeatureSram::new().check(100_352, 4).is_ok());
+        // At 10 bits = 125,440 B — would overflow the feature store.
+        assert!(FeatureSram::new().check(100_352, 10).is_err());
+    }
+
+    #[test]
+    fn odd_bit_counts_round_up() {
+        assert_eq!(FeatureSram::bytes_needed(3, 3), 2);
+        assert_eq!(FeatureSram::bytes_needed(0, 4), 0);
+    }
+}

@@ -1,0 +1,158 @@
+//! 3-D stacking (§V-D-1).
+//!
+//! "RedEye is ideal for 3D stacking; pages of analog memory can be
+//! physically layered, reducing die size. In addition, stacked RedEyes
+//! could be programmed with different tasks (e.g., face recognition, HOG,
+//! object classification, etc.), to coexist on the same module and operate
+//! in parallel. Finally, conventional image processing architecture could
+//! occupy a layer, allowing a device to acquire a full image through
+//! RedEye's optical focal plane when needed."
+//!
+//! This module models that future-work configuration: one shared pixel
+//! array and controller, plus one compute layer per concurrently-programmed
+//! task (optionally including a conventional full-image readout layer).
+
+use crate::area::{AreaEstimate, CONTROLLER_MM2, PIXEL_ARRAY_MM2};
+use crate::Estimate;
+use redeye_analog::{Joules, Seconds};
+
+/// A stacked multi-task RedEye module.
+#[derive(Debug)]
+pub struct RedEyeStack {
+    tasks: Vec<(String, Estimate)>,
+    /// Whether a conventional full-image readout layer is stacked in
+    /// (energy modeled by the caller's image-sensor baseline when used).
+    full_image_layer: bool,
+}
+
+impl RedEyeStack {
+    /// Creates an empty stack (pixel array + controller only).
+    pub fn new() -> Self {
+        RedEyeStack {
+            tasks: Vec::new(),
+            full_image_layer: false,
+        }
+    }
+
+    /// Adds a task layer programmed with its own ConvNet (described by its
+    /// per-frame estimate), returning `self` for chaining.
+    pub fn with_task(mut self, name: impl Into<String>, estimate: Estimate) -> Self {
+        self.tasks.push((name.into(), estimate));
+        self
+    }
+
+    /// Adds the conventional full-image acquisition layer.
+    pub fn with_full_image_layer(mut self) -> Self {
+        self.full_image_layer = true;
+        self
+    }
+
+    /// Number of stacked compute layers (tasks + optional image layer).
+    pub fn layers(&self) -> usize {
+        self.tasks.len() + usize::from(self.full_image_layer)
+    }
+
+    /// Task names in stacking order.
+    pub fn task_names(&self) -> Vec<&str> {
+        self.tasks.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Per-frame analog energy with all task layers running concurrently.
+    pub fn frame_energy(&self) -> Joules {
+        self.tasks
+            .iter()
+            .map(|(_, e)| e.energy.analog_total())
+            .sum()
+    }
+
+    /// Frame time of the stack: layers run in parallel, so the slowest task
+    /// bounds the shared frame clock.
+    pub fn frame_time(&self) -> Seconds {
+        self.tasks
+            .iter()
+            .map(|(_, e)| e.timing.frame_time())
+            .fold(Seconds::zero(), Seconds::max)
+    }
+
+    /// Total readout payload per frame (all tasks' features).
+    pub fn readout_bits(&self) -> u64 {
+        self.tasks.iter().map(|(_, e)| e.readout_bits).sum()
+    }
+
+    /// Footprint of the stacked module: the die *footprint* stays at one
+    /// layer's outline (pixel array + controller + one column-compute
+    /// plane); additional task layers stack vertically, paying silicon
+    /// volume but no focal-plane area. Returns `(footprint_mm2,
+    /// total_silicon_mm2)`.
+    pub fn area(&self) -> (f64, f64) {
+        let single = AreaEstimate::paper_design();
+        let compute_plane = single.die_mm2 - PIXEL_ARRAY_MM2 - CONTROLLER_MM2;
+        let footprint = single.die_mm2;
+        let total = PIXEL_ARRAY_MM2 + CONTROLLER_MM2 + compute_plane * self.layers().max(1) as f64;
+        (footprint, total)
+    }
+}
+
+impl Default for RedEyeStack {
+    fn default() -> Self {
+        RedEyeStack::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{estimate, Depth, RedEyeConfig};
+
+    fn d(depth: Depth) -> Estimate {
+        estimate::estimate_depth(depth, &RedEyeConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn energy_sums_and_time_maxes() {
+        let stack = RedEyeStack::new()
+            .with_task("classification", d(Depth::D5))
+            .with_task("face-gating", d(Depth::D1));
+        let e5 = d(Depth::D5);
+        let e1 = d(Depth::D1);
+        assert_eq!(stack.layers(), 2);
+        let total = stack.frame_energy();
+        let expect = e5.energy.analog_total() + e1.energy.analog_total();
+        assert!((total.value() - expect.value()).abs() < 1e-15);
+        // The slower Depth5 task bounds the stack's frame clock.
+        assert_eq!(stack.frame_time(), e5.timing.frame_time());
+        assert_eq!(stack.readout_bits(), e5.readout_bits + e1.readout_bits);
+    }
+
+    #[test]
+    fn footprint_constant_volume_grows() {
+        let one = RedEyeStack::new().with_task("a", d(Depth::D3));
+        let three = RedEyeStack::new()
+            .with_task("a", d(Depth::D3))
+            .with_task("b", d(Depth::D2))
+            .with_full_image_layer();
+        let (fp1, vol1) = one.area();
+        let (fp3, vol3) = three.area();
+        assert_eq!(fp1, fp3, "focal-plane footprint does not grow");
+        assert!(vol3 > vol1, "silicon volume grows per layer");
+        assert_eq!(three.layers(), 3);
+    }
+
+    #[test]
+    fn empty_stack_is_degenerate_but_safe() {
+        let stack = RedEyeStack::new();
+        assert_eq!(stack.layers(), 0);
+        assert_eq!(stack.frame_energy().value(), 0.0);
+        assert_eq!(stack.frame_time().value(), 0.0);
+        let (fp, vol) = stack.area();
+        assert!(vol <= fp + 1e-12);
+    }
+
+    #[test]
+    fn task_names_in_order() {
+        let stack = RedEyeStack::new()
+            .with_task("hog", d(Depth::D1))
+            .with_task("cls", d(Depth::D5));
+        assert_eq!(stack.task_names(), vec!["hog", "cls"]);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests of the RedEye architecture's invariants.
+
+use proptest::prelude::*;
+use redeye_analog::{ProcessCorner, SnrDb};
+use redeye_core::{estimate, Depth, FeatureSram, Program, RedEyeConfig};
+
+fn config(snr: f64, bits: u32) -> RedEyeConfig {
+    RedEyeConfig {
+        snr: SnrDb::new(snr),
+        adc_bits: bits,
+        corner: ProcessCorner::TT,
+    }
+}
+
+proptest! {
+    /// Analog energy scales exactly ×10 per +10 dB at any depth and bit
+    /// setting (the processing/memory terms dominate and both follow E ∝ C).
+    #[test]
+    fn processing_energy_exponential_in_snr(
+        snr in 20.0f64..60.0,
+        depth_idx in 0usize..5,
+    ) {
+        let depth = Depth::ALL[depth_idx];
+        let lo = estimate::estimate_depth(depth, &config(snr, 4)).unwrap();
+        let hi = estimate::estimate_depth(depth, &config(snr + 10.0, 4)).unwrap();
+        let ratio = hi.energy.processing / lo.energy.processing;
+        prop_assert!((ratio - 10.0).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    /// Quantization energy is monotone in ADC resolution; readout bits are
+    /// exactly linear in it.
+    #[test]
+    fn quantization_monotone_in_bits(bits in 1u32..10, depth_idx in 0usize..5) {
+        let depth = Depth::ALL[depth_idx];
+        let a = estimate::estimate_depth(depth, &config(40.0, bits)).unwrap();
+        let b = estimate::estimate_depth(depth, &config(40.0, bits + 1)).unwrap();
+        prop_assert!(b.energy.quantization > a.energy.quantization);
+        prop_assert_eq!(a.readout_bits / u64::from(bits), a.readout_values);
+        prop_assert_eq!(
+            b.readout_bits * u64::from(bits),
+            a.readout_bits * u64::from(bits + 1)
+        );
+    }
+
+    /// Frame time is independent of the SNR setting (bias scales with the
+    /// damping cap) but strictly increasing in ADC bits.
+    #[test]
+    fn timing_depends_on_bits_not_snr(
+        snr_a in 25.0f64..60.0,
+        snr_b in 25.0f64..60.0,
+        bits in 1u32..10,
+    ) {
+        let a = estimate::estimate_depth(Depth::D3, &config(snr_a, bits)).unwrap();
+        let b = estimate::estimate_depth(Depth::D3, &config(snr_b, bits)).unwrap();
+        prop_assert!(
+            (a.timing.frame_time().value() - b.timing.frame_time().value()).abs() < 1e-12
+        );
+        let more = estimate::estimate_depth(Depth::D3, &config(snr_a, bits + 1)).unwrap();
+        prop_assert!(more.timing.quantization > a.timing.quantization);
+    }
+
+    /// Deeper cuts never decrease MAC workload.
+    #[test]
+    fn macs_monotone_in_depth(snr in 25.0f64..60.0) {
+        let mut prev = 0u64;
+        for depth in Depth::ALL {
+            let est = estimate::estimate_depth(depth, &config(snr, 4)).unwrap();
+            prop_assert!(est.energy.macs >= prev, "{depth}");
+            prev = est.energy.macs;
+        }
+    }
+
+    /// Feature payload bytes follow the bit-packing formula for any load.
+    #[test]
+    fn feature_bytes_formula(values in 0u64..1_000_000, bits in 1u32..16) {
+        let bytes = FeatureSram::bytes_needed(values, bits);
+        prop_assert_eq!(bytes as u64, (values * u64::from(bits)).div_ceil(8));
+    }
+
+    /// Programs round-trip through JSON regardless of ADC setting.
+    #[test]
+    fn program_serde_round_trip(bits in 1u32..10, out_c in 1usize..8) {
+        let program = Program::new(
+            "p",
+            [3, 8, 8],
+            vec![redeye_core::Instruction::Conv {
+                name: "c".into(),
+                out_c,
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+                relu: true,
+                codes: vec![1; out_c * 27],
+                scale: 0.01,
+                bias: vec![0.0; out_c],
+                snr: SnrDb::new(40.0),
+            }],
+            bits,
+        );
+        let json = serde_json::to_string(&program).unwrap();
+        let back: Program = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, program);
+    }
+
+    /// Corner factors move energy and timing in opposite directions for
+    /// SS (slow silicon: slower but lower power).
+    #[test]
+    fn ss_corner_tradeoff(snr in 25.0f64..60.0, bits in 1u32..10) {
+        let tt = estimate::estimate_depth(Depth::D2, &config(snr, bits)).unwrap();
+        let ss = estimate::estimate_depth(
+            Depth::D2,
+            &RedEyeConfig {
+                snr: SnrDb::new(snr),
+                adc_bits: bits,
+                corner: ProcessCorner::SS,
+            },
+        )
+        .unwrap();
+        prop_assert!(ss.timing.frame_time() > tt.timing.frame_time());
+        prop_assert!(ss.energy.processing < tt.energy.processing);
+    }
+}

@@ -1,0 +1,24 @@
+//! Synthetic labeled image data and sensor input modeling.
+//!
+//! The RedEye paper evaluates on ImageNet's 50 000-image validation set with
+//! a pre-trained GoogLeNet. Neither is available to this reproduction, so
+//! this crate provides the closest synthetic equivalent that exercises the
+//! same code paths:
+//!
+//! - [`SyntheticDataset`] — a procedural, class-conditioned image generator
+//!   (parametric shapes, hues, and textures with pose/lighting jitter) whose
+//!   difficulty is tunable and on which the networks in `redeye-nn` are
+//!   trained from scratch;
+//! - [`sensor`] — the paper's raw-input pipeline: gamma *un*-correction to
+//!   recover raw-domain pixel values, photodiode Poisson (shot) noise, and
+//!   fixed-pattern noise (§V-A);
+//! - [`metrics`] — Top-k classification accuracy (the paper reports Top-5).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod sensor;
+mod synth;
+
+pub use synth::{LabeledImage, SyntheticDataset};

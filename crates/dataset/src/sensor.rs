@@ -1,0 +1,155 @@
+//! Raw-sensor input modeling (§V-A of the paper).
+//!
+//! "To simulate raw image sampling, we undo gamma correction to simulate raw
+//! pixel values. We emulate photodiode noise and other analog sampling
+//! effects by applying Poisson noise and fixed pattern noise in the input
+//! layer."
+
+use redeye_tensor::{Rng, Tensor};
+
+/// Standard display gamma.
+pub const GAMMA: f32 = 2.2;
+
+/// Undoes display gamma correction, mapping a display-domain image in
+/// `[0, 1]` back to linear (raw photodiode) domain: `raw = display^γ`.
+pub fn undo_gamma(image: &Tensor) -> Tensor {
+    image.map(|v| v.clamp(0.0, 1.0).powf(GAMMA))
+}
+
+/// Applies display gamma correction: `display = raw^(1/γ)`.
+pub fn apply_gamma(image: &Tensor) -> Tensor {
+    image.map(|v| v.clamp(0.0, 1.0).powf(1.0 / GAMMA))
+}
+
+/// Applies photodiode shot noise: each linear-domain pixel is scaled to an
+/// expected photon/electron count (`full_well` at 1.0), Poisson-sampled, and
+/// scaled back. Lower `full_well` models dimmer scenes — the paper notes a
+/// 1-lux environment pushes the effective SNR floor down to 25 dB.
+///
+/// # Panics
+///
+/// Panics if `full_well` is not positive.
+pub fn poisson_shot_noise(linear: &Tensor, full_well: f64, rng: &mut Rng) -> Tensor {
+    assert!(full_well > 0.0, "full-well capacity must be positive");
+    let data = linear
+        .iter()
+        .map(|&v| {
+            let expected = f64::from(v.clamp(0.0, 1.0)) * full_well;
+            (rng.poisson(expected) as f64 / full_well) as f32
+        })
+        .collect();
+    Tensor::from_vec(data, linear.dims()).expect("shape preserved")
+}
+
+/// Per-pixel fixed-pattern noise: a static gain and offset field, identical
+/// for every frame captured by the same (simulated) sensor die.
+#[derive(Debug, Clone)]
+pub struct FixedPatternNoise {
+    gain: Tensor,
+    offset: Tensor,
+}
+
+impl FixedPatternNoise {
+    /// Generates a sensor die's FPN field for images of shape `dims`.
+    ///
+    /// `gain_sigma` is the relative PRNU spread (photo-response
+    /// non-uniformity, typically ~1%); `offset_sigma` the DSNU offset spread
+    /// in normalized units (typically ~0.5%).
+    pub fn new(dims: &[usize], gain_sigma: f32, offset_sigma: f32, rng: &mut Rng) -> Self {
+        FixedPatternNoise {
+            gain: Tensor::gaussian(dims, 1.0, gain_sigma, rng),
+            offset: Tensor::gaussian(dims, 0.0, offset_sigma, rng),
+        }
+    }
+
+    /// Applies the static pattern to a linear-domain frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame shape differs from the die shape.
+    pub fn apply(&self, linear: &Tensor) -> Tensor {
+        let scaled = linear.mul(&self.gain).expect("same die shape");
+        scaled.add(&self.offset).expect("same die shape")
+    }
+}
+
+/// The full §V-A raw-input pipeline: undo gamma, apply shot noise and FPN.
+///
+/// Returns the raw-domain frame a RedEye pixel array would sample.
+pub fn capture_raw(
+    display_image: &Tensor,
+    full_well: f64,
+    fpn: &FixedPatternNoise,
+    rng: &mut Rng,
+) -> Tensor {
+    let linear = undo_gamma(display_image);
+    let shot = poisson_shot_noise(&linear, full_well, rng);
+    fpn.apply(&shot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gamma_round_trip() {
+        let img = Tensor::from_vec(vec![0.0, 0.1, 0.5, 0.9, 1.0], &[5]).unwrap();
+        let back = apply_gamma(&undo_gamma(&img));
+        for (a, b) in img.iter().zip(back.iter()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn undo_gamma_darkens_midtones() {
+        let img = Tensor::full(&[4], 0.5);
+        let raw = undo_gamma(&img);
+        assert!(raw.iter().all(|&v| v < 0.3), "0.5^2.2 ≈ 0.218");
+    }
+
+    #[test]
+    fn shot_noise_preserves_mean_and_scales_with_light() {
+        let img = Tensor::full(&[5000], 0.5);
+        let mut rng = Rng::seed_from(1);
+        let bright = poisson_shot_noise(&img, 10_000.0, &mut rng);
+        let dim = poisson_shot_noise(&img, 100.0, &mut rng);
+        assert!((bright.mean().unwrap() - 0.5).abs() < 0.01);
+        assert!((dim.mean().unwrap() - 0.5).abs() < 0.05);
+        let spread = |t: &Tensor| {
+            let m = t.mean().unwrap();
+            (t.iter().map(|v| (v - m).powi(2)).sum::<f32>() / t.len() as f32).sqrt()
+        };
+        // 100× fewer photons → 10× more relative noise.
+        assert!(spread(&dim) > 5.0 * spread(&bright));
+    }
+
+    #[test]
+    fn fpn_is_static_across_frames() {
+        let mut rng = Rng::seed_from(2);
+        let fpn = FixedPatternNoise::new(&[3, 8, 8], 0.01, 0.005, &mut rng);
+        let frame = Tensor::full(&[3, 8, 8], 0.4);
+        let a = fpn.apply(&frame);
+        let b = fpn.apply(&frame);
+        assert_eq!(a, b, "same die, same pattern");
+        // And it is a real perturbation.
+        assert!(a.rms_error(&frame).unwrap() > 1e-3);
+    }
+
+    #[test]
+    fn capture_raw_pipeline_runs() {
+        let mut rng = Rng::seed_from(3);
+        let fpn = FixedPatternNoise::new(&[3, 8, 8], 0.01, 0.005, &mut rng);
+        let display = Tensor::full(&[3, 8, 8], 0.7);
+        let raw = capture_raw(&display, 5_000.0, &fpn, &mut rng);
+        assert_eq!(raw.dims(), &[3, 8, 8]);
+        // Raw domain of 0.7 display is ≈ 0.456; noise keeps it nearby.
+        assert!((raw.mean().unwrap() - 0.456).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_full_well_panics() {
+        let mut rng = Rng::seed_from(4);
+        poisson_shot_noise(&Tensor::full(&[1], 0.5), 0.0, &mut rng);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based tests of the synthetic dataset and sensor input models.
+
+use proptest::prelude::*;
+use redeye_dataset::{metrics::TopKAccuracy, sensor, SyntheticDataset};
+use redeye_tensor::{Rng, Tensor};
+
+proptest! {
+    /// Every generated sample is deterministic, well-shaped, and in range.
+    #[test]
+    fn samples_wellformed(
+        classes in 1usize..40, side in 8usize..48, seed in 0u64..100, index in 0u64..1000,
+    ) {
+        let ds = SyntheticDataset::new(classes, side, seed);
+        let a = ds.sample(index);
+        let b = ds.sample(index);
+        prop_assert_eq!(&a.image, &b.image);
+        prop_assert_eq!(a.label, (index % classes as u64) as usize);
+        prop_assert_eq!(a.image.dims(), &[3, side, side]);
+        prop_assert!(a.image.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    /// Gamma undo/apply round-trips for any in-range image.
+    #[test]
+    fn gamma_round_trip(values in prop::collection::vec(0.0f32..1.0, 1..64)) {
+        let img = Tensor::from_vec(values.clone(), &[values.len()]).unwrap();
+        let back = sensor::apply_gamma(&sensor::undo_gamma(&img));
+        for (a, b) in img.iter().zip(back.iter()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    /// Shot noise is unbiased: the mean over many pixels tracks the signal.
+    #[test]
+    fn shot_noise_unbiased(level in 0.05f32..0.95, full_well in 500.0f64..50_000.0, seed in 0u64..50) {
+        let img = Tensor::full(&[4000], level);
+        let mut rng = Rng::seed_from(seed);
+        let noisy = sensor::poisson_shot_noise(&img, full_well, &mut rng);
+        let mean = noisy.mean().unwrap();
+        // Tolerance: 5 standard errors of the Poisson mean.
+        let tol = 5.0 * (f64::from(level) / full_well / 4000.0).sqrt() as f32 + 1e-3;
+        prop_assert!((mean - level).abs() < tol, "level {level}, mean {mean}");
+    }
+
+    /// FPN is multiplicative-plus-offset: doubling the frame doubles the
+    /// gain component of the perturbation.
+    #[test]
+    fn fpn_is_affine(seed in 0u64..50) {
+        let mut rng = Rng::seed_from(seed);
+        let fpn = sensor::FixedPatternNoise::new(&[1, 8, 8], 0.05, 0.0, &mut rng);
+        let a = Tensor::full(&[1, 8, 8], 0.3);
+        let b = Tensor::full(&[1, 8, 8], 0.6);
+        let fa = fpn.apply(&a);
+        let fb = fpn.apply(&b);
+        // With zero offset, f(2x) = 2·f(x) elementwise.
+        for (x, y) in fa.iter().zip(fb.iter()) {
+            prop_assert!((2.0 * x - y).abs() < 1e-5);
+        }
+    }
+
+    /// Top-k accuracy is monotone in k.
+    #[test]
+    fn topk_monotone_in_k(seed in 0u64..100) {
+        let mut rng = Rng::seed_from(seed);
+        let mut acc1 = TopKAccuracy::new(1);
+        let mut acc5 = TopKAccuracy::new(5);
+        for _ in 0..50 {
+            let scores = Tensor::uniform(&[10], 0.0, 1.0, &mut rng);
+            let label = rng.index(10);
+            acc1.observe(&scores, label);
+            acc5.observe(&scores, label);
+        }
+        prop_assert!(acc5.accuracy() >= acc1.accuracy());
+    }
+}

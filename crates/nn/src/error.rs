@@ -1,0 +1,83 @@
+//! Error type for the ConvNet framework.
+
+use redeye_tensor::TensorError;
+use std::fmt;
+
+/// Error returned by network construction, inference, and training.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// A layer received an input of the wrong shape.
+    BadInput {
+        /// Name of the offending layer.
+        layer: String,
+        /// Description of what was expected vs received.
+        reason: String,
+    },
+    /// A spec could not be realized over the given input shape.
+    BadSpec {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// A named layer (e.g. a partition cut point) does not exist.
+    UnknownLayer {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// Training diverged (loss became non-finite).
+    Diverged {
+        /// Epoch at which divergence was detected.
+        epoch: usize,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::BadInput { layer, reason } => {
+                write!(f, "bad input to layer `{layer}`: {reason}")
+            }
+            NnError::BadSpec { reason } => write!(f, "bad network spec: {reason}"),
+            NnError::UnknownLayer { name } => write!(f, "unknown layer `{name}`"),
+            NnError::Diverged { epoch } => {
+                write!(f, "training diverged at epoch {epoch}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_tensor_error_with_source() {
+        use std::error::Error as _;
+        let err = NnError::from(TensorError::Empty);
+        assert!(err.source().is_some());
+        assert!(err.to_string().contains("tensor error"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

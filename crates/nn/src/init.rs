@@ -1,0 +1,61 @@
+//! Weight initialization schemes.
+
+use redeye_tensor::{Rng, Tensor};
+
+/// Weight initialization scheme for convolution and dense layers.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum WeightInit {
+    /// He (Kaiming) normal: `N(0, 2/fan_in)` — suited to ReLU networks.
+    #[default]
+    HeNormal,
+    /// Xavier (Glorot) uniform: `U(±√(3/fan_in))`.
+    XavierUniform,
+    /// Every weight set to the given constant (tests and golden models).
+    Constant(f32),
+}
+
+impl WeightInit {
+    /// Samples a weight tensor of the given shape.
+    pub fn sample(self, dims: &[usize], fan_in: usize, rng: &mut Rng) -> Tensor {
+        let fan_in = fan_in.max(1) as f32;
+        match self {
+            WeightInit::HeNormal => {
+                let std = (2.0 / fan_in).sqrt();
+                Tensor::gaussian(dims, 0.0, std, rng)
+            }
+            WeightInit::XavierUniform => {
+                let bound = (3.0 / fan_in).sqrt();
+                Tensor::uniform(dims, -bound, bound, rng)
+            }
+            WeightInit::Constant(v) => Tensor::full(dims, v),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn he_normal_variance_tracks_fan_in() {
+        let mut rng = Rng::seed_from(1);
+        let w = WeightInit::HeNormal.sample(&[200, 100], 100, &mut rng);
+        let var = w.power().unwrap();
+        assert!((var - 0.02).abs() < 0.002, "var {var}");
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = Rng::seed_from(2);
+        let w = WeightInit::XavierUniform.sample(&[1000], 12, &mut rng);
+        let bound = (3.0f32 / 12.0).sqrt();
+        assert!(w.iter().all(|&v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn constant_fill() {
+        let mut rng = Rng::seed_from(3);
+        let w = WeightInit::Constant(0.25).sample(&[4], 4, &mut rng);
+        assert!(w.iter().all(|&v| v == 0.25));
+    }
+}

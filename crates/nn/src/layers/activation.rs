@@ -1,0 +1,62 @@
+//! Standalone activation layers.
+
+use crate::{Layer, Result};
+use redeye_tensor::Tensor;
+
+/// A standalone rectified-linear layer.
+///
+/// Most convolutions in this workspace fuse their ReLU (as RedEye's
+/// convolutional module does), but a standalone layer is useful when noise
+/// must be injected *between* a convolution and its rectification.
+#[derive(Debug, Clone)]
+pub struct Relu {
+    name: String,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        Relu { name: name.into() }
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        Ok(input.relu())
+    }
+
+    fn backward(&mut self, input: &Tensor, _output: &Tensor, grad_out: &Tensor) -> Result<Tensor> {
+        let mut grad_in = grad_out.clone();
+        for (g, &x) in grad_in.iter_mut().zip(input.iter()) {
+            if x <= 0.0 {
+                *g = 0.0;
+            }
+        }
+        Ok(grad_in)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_rectifies() {
+        let mut l = Relu::new("r");
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]).unwrap();
+        assert_eq!(l.forward(&x).unwrap().as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_gates_gradient() {
+        let mut l = Relu::new("r");
+        let x = Tensor::from_vec(vec![-1.0, 0.5, 2.0], &[3]).unwrap();
+        let y = l.forward(&x).unwrap();
+        let g = Tensor::full(&[3], 1.0);
+        assert_eq!(l.backward(&x, &y, &g).unwrap().as_slice(), &[0.0, 1.0, 1.0]);
+    }
+}

@@ -1,0 +1,289 @@
+//! 2-D convolution with optional fused rectification.
+
+use crate::{Layer, NnError, Result, WeightInit};
+use redeye_tensor::{
+    col2im, im2col, matmul, matmul_transpose_a, matmul_transpose_b, ConvGeom, Rng, Tensor,
+};
+
+/// A 2-D convolution layer (`C×H×W` → `out_c×H'×W'`), optionally fused with a
+/// ReLU, matching RedEye's convolutional module which rectifies by clipping
+/// at maximum signal swing.
+///
+/// Weights are stored in the `im2col` layout: a `(out_c × patch_len)` matrix
+/// where `patch_len = in_c·k·k`, plus a bias vector of length `out_c`.
+#[derive(Debug)]
+pub struct Conv2d {
+    name: String,
+    geom: ConvGeom,
+    out_c: usize,
+    relu: bool,
+    weights: Tensor,
+    bias: Tensor,
+    grad_weights: Tensor,
+    grad_bias: Tensor,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer with freshly initialized weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns a geometry error if the kernel/stride/pad are inconsistent
+    /// with the input shape.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        in_shape: [usize; 3],
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        relu: bool,
+        init: WeightInit,
+        rng: &mut Rng,
+    ) -> Result<Self> {
+        let [c, h, w] = in_shape;
+        let geom = ConvGeom::new(c, h, w, kernel, kernel, stride, pad)?;
+        let patch = geom.patch_len();
+        let weights = init.sample(&[out_c, patch], patch, rng);
+        Ok(Conv2d {
+            name: name.into(),
+            geom,
+            out_c,
+            relu,
+            weights,
+            bias: Tensor::zeros(&[out_c]),
+            grad_weights: Tensor::zeros(&[out_c, patch]),
+            grad_bias: Tensor::zeros(&[out_c]),
+        })
+    }
+
+    /// The convolution geometry.
+    pub fn geom(&self) -> &ConvGeom {
+        &self.geom
+    }
+
+    /// Output channel count.
+    pub fn out_c(&self) -> usize {
+        self.out_c
+    }
+
+    /// Output shape `[out_c, out_h, out_w]`.
+    pub fn out_shape(&self) -> [usize; 3] {
+        [self.out_c, self.geom.out_h(), self.geom.out_w()]
+    }
+
+    /// The weight matrix in `(out_c × patch_len)` layout.
+    pub fn weights(&self) -> &Tensor {
+        &self.weights
+    }
+
+    /// Mutable access to the weight matrix (used by weight quantization).
+    pub fn weights_mut(&mut self) -> &mut Tensor {
+        &mut self.weights
+    }
+
+    /// The bias vector.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+
+    /// Whether a ReLU is fused onto the output.
+    pub fn has_relu(&self) -> bool {
+        self.relu
+    }
+
+    fn check_input(&self, input: &Tensor) -> Result<()> {
+        let expect = [self.geom.in_c(), self.geom.in_h(), self.geom.in_w()];
+        if input.dims() != expect {
+            return Err(NnError::BadInput {
+                layer: self.name.clone(),
+                reason: format!("expected {expect:?}, got {:?}", input.dims()),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        self.check_input(input)?;
+        let cols = im2col(input, &self.geom)?;
+        let mut out = matmul(&self.weights, &cols)?;
+        let positions = self.geom.out_positions();
+        {
+            let data = out.as_mut_slice();
+            for oc in 0..self.out_c {
+                let b = self.bias.as_slice()[oc];
+                for v in &mut data[oc * positions..(oc + 1) * positions] {
+                    *v += b;
+                    if self.relu && *v < 0.0 {
+                        *v = 0.0;
+                    }
+                }
+            }
+        }
+        Ok(out.into_reshaped(&[self.out_c, self.geom.out_h(), self.geom.out_w()])?)
+    }
+
+    fn backward(&mut self, input: &Tensor, output: &Tensor, grad_out: &Tensor) -> Result<Tensor> {
+        self.check_input(input)?;
+        let positions = self.geom.out_positions();
+        // Gate the gradient through the fused ReLU using the saved output.
+        let mut g = grad_out.reshape(&[self.out_c, positions])?;
+        if self.relu {
+            for (gv, &ov) in g.iter_mut().zip(output.iter()) {
+                if ov <= 0.0 {
+                    *gv = 0.0;
+                }
+            }
+        }
+        // Bias gradient: row sums.
+        for oc in 0..self.out_c {
+            let row_sum: f32 = g.as_slice()[oc * positions..(oc + 1) * positions]
+                .iter()
+                .sum();
+            self.grad_bias.as_mut_slice()[oc] += row_sum;
+        }
+        // Weight gradient: g · colsᵀ.
+        let cols = im2col(input, &self.geom)?;
+        let dw = matmul_transpose_b(&g, &cols)?;
+        self.grad_weights.add_scaled(&dw, 1.0)?;
+        // Input gradient: col2im(Wᵀ · g).
+        let dcols = matmul_transpose_a(&self.weights, &g)?;
+        Ok(col2im(&dcols, &self.geom)?)
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        visitor(&mut self.weights, &mut self.grad_weights);
+        visitor(&mut self.bias, &mut self.grad_bias);
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_weights.map_in_place(|_| 0.0);
+        self.grad_bias.map_in_place(|_| 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(relu: bool) -> Conv2d {
+        let mut rng = Rng::seed_from(5);
+        Conv2d::new(
+            "c",
+            [2, 5, 5],
+            3,
+            3,
+            1,
+            1,
+            relu,
+            WeightInit::XavierUniform,
+            &mut rng,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut l = layer(false);
+        let x = Tensor::full(&[2, 5, 5], 0.1);
+        let y = l.forward(&x).unwrap();
+        assert_eq!(y.dims(), &[3, 5, 5]);
+    }
+
+    #[test]
+    fn rejects_wrong_input_shape() {
+        let mut l = layer(false);
+        assert!(l.forward(&Tensor::zeros(&[2, 4, 5])).is_err());
+    }
+
+    #[test]
+    fn relu_clamps_negative_outputs() {
+        let mut l = layer(true);
+        let mut rng = Rng::seed_from(6);
+        let x = Tensor::uniform(&[2, 5, 5], -1.0, 1.0, &mut rng);
+        let y = l.forward(&x).unwrap();
+        assert!(y.iter().all(|&v| v >= 0.0));
+    }
+
+    /// Numerically checks the full backward pass against finite differences.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = Rng::seed_from(7);
+        let mut l = Conv2d::new(
+            "c",
+            [2, 4, 4],
+            2,
+            3,
+            1,
+            1,
+            false,
+            WeightInit::XavierUniform,
+            &mut rng,
+        )
+        .unwrap();
+        let x = Tensor::uniform(&[2, 4, 4], -1.0, 1.0, &mut rng);
+        // Loss = sum(output): grad_out is all-ones.
+        let y = l.forward(&x).unwrap();
+        let ones = Tensor::full(y.dims(), 1.0);
+        let dx = l.backward(&x, &y, &ones).unwrap();
+
+        let eps = 1e-2f32;
+        // Check a few input coordinates.
+        for idx in [0usize, 7, 20, 31] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let fp = l.forward(&xp).unwrap().sum();
+            let fm = l.forward(&xm).unwrap().sum();
+            let numeric = (fp - fm) / (2.0 * eps);
+            let analytic = dx.as_slice()[idx];
+            assert!(
+                (numeric - analytic).abs() < 1e-2,
+                "input grad at {idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+
+        // Check a few weight coordinates.
+        let mut grads = Vec::new();
+        l.visit_params(&mut |_, g| grads.push(g.clone()));
+        let wgrad = grads[0].clone();
+        for idx in [0usize, 5, 17] {
+            let orig = l.weights.as_slice()[idx];
+            l.weights.as_mut_slice()[idx] = orig + eps;
+            let fp = l.forward(&x).unwrap().sum();
+            l.weights.as_mut_slice()[idx] = orig - eps;
+            let fm = l.forward(&x).unwrap().sum();
+            l.weights.as_mut_slice()[idx] = orig;
+            let numeric = (fp - fm) / (2.0 * eps);
+            let analytic = wgrad.as_slice()[idx];
+            assert!(
+                (numeric - analytic).abs() < 1e-2,
+                "weight grad at {idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_grads_clears_accumulation() {
+        let mut l = layer(false);
+        let x = Tensor::full(&[2, 5, 5], 0.5);
+        let y = l.forward(&x).unwrap();
+        let g = Tensor::full(y.dims(), 1.0);
+        l.backward(&x, &y, &g).unwrap();
+        let mut sum_before = 0.0;
+        l.visit_params(&mut |_, grad| sum_before += grad.iter().map(|v| v.abs()).sum::<f32>());
+        assert!(sum_before > 0.0);
+        l.zero_grads();
+        let mut sum_after = 0.0;
+        l.visit_params(&mut |_, grad| sum_after += grad.iter().map(|v| v.abs()).sum::<f32>());
+        assert_eq!(sum_after, 0.0);
+    }
+}

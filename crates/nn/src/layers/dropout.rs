@@ -1,0 +1,136 @@
+//! Dropout layer.
+
+use crate::{Layer, NnError, Result};
+use redeye_tensor::{Rng, Tensor};
+
+/// Inverted dropout: during training, zeroes each activation with
+/// probability `p` and scales survivors by `1/(1−p)`; at inference it is the
+/// identity.
+#[derive(Debug)]
+pub struct Dropout {
+    name: String,
+    p: f32,
+    training: bool,
+    rng: Rng,
+    /// Mask sampled by the most recent training-mode forward.
+    mask: Vec<f32>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadSpec`] unless `0 ≤ p < 1`.
+    pub fn new(name: impl Into<String>, p: f32, rng: Rng) -> Result<Self> {
+        if !(0.0..1.0).contains(&p) {
+            return Err(NnError::BadSpec {
+                reason: format!("dropout probability must be in [0, 1), got {p}"),
+            });
+        }
+        Ok(Dropout {
+            name: name.into(),
+            p,
+            training: false,
+            rng,
+            mask: Vec::new(),
+        })
+    }
+}
+
+impl Layer for Dropout {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        if !self.training || self.p == 0.0 {
+            return Ok(input.clone());
+        }
+        let keep = 1.0 - self.p;
+        self.mask = (0..input.len())
+            .map(|_| {
+                if self.rng.chance(keep) {
+                    1.0 / keep
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let data = input
+            .iter()
+            .zip(self.mask.iter())
+            .map(|(&x, &m)| x * m)
+            .collect();
+        Ok(Tensor::from_vec(data, input.dims())?)
+    }
+
+    fn backward(&mut self, _input: &Tensor, _output: &Tensor, grad_out: &Tensor) -> Result<Tensor> {
+        if !self.training || self.p == 0.0 {
+            return Ok(grad_out.clone());
+        }
+        if self.mask.len() != grad_out.len() {
+            return Err(NnError::BadInput {
+                layer: self.name.clone(),
+                reason: "backward called without a matching forward".into(),
+            });
+        }
+        let data = grad_out
+            .iter()
+            .zip(self.mask.iter())
+            .map(|(&g, &m)| g * m)
+            .collect();
+        Ok(Tensor::from_vec(data, grad_out.dims())?)
+    }
+
+    fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_at_inference() {
+        let mut l = Dropout::new("d", 0.5, Rng::seed_from(1)).unwrap();
+        let x = Tensor::full(&[100], 1.0);
+        let y = l.forward(&x).unwrap();
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn drops_and_rescales_in_training() {
+        let mut l = Dropout::new("d", 0.5, Rng::seed_from(2)).unwrap();
+        l.set_training(true);
+        let x = Tensor::full(&[10_000], 1.0);
+        let y = l.forward(&x).unwrap();
+        let zeros = y.iter().filter(|&&v| v == 0.0).count();
+        assert!((3_000..7_000).contains(&zeros), "{zeros} dropped");
+        // Survivors are scaled by 1/keep = 2.
+        assert!(y.iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+        // Expectation preserved.
+        assert!((y.mean().unwrap() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn invalid_probability_rejected() {
+        assert!(Dropout::new("d", 1.0, Rng::seed_from(1)).is_err());
+        assert!(Dropout::new("d", -0.1, Rng::seed_from(1)).is_err());
+    }
+
+    #[test]
+    fn backward_reuses_mask() {
+        let mut l = Dropout::new("d", 0.5, Rng::seed_from(3)).unwrap();
+        l.set_training(true);
+        let x = Tensor::full(&[64], 1.0);
+        let y = l.forward(&x).unwrap();
+        let g = Tensor::full(&[64], 1.0);
+        let dx = l.backward(&x, &y, &g).unwrap();
+        // Gradient mask matches forward mask exactly.
+        for (dy, dg) in y.iter().zip(dx.iter()) {
+            assert_eq!(dy, dg);
+        }
+    }
+}

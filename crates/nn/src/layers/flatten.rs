@@ -1,0 +1,48 @@
+//! Flatten layer.
+
+use crate::{Layer, Result};
+use redeye_tensor::Tensor;
+
+/// Flattens any input into a rank-1 feature vector; backward reshapes the
+/// gradient back to the original input shape.
+#[derive(Debug, Clone)]
+pub struct Flatten {
+    name: String,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        Flatten { name: name.into() }
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        Ok(input.reshape(&[input.len()])?)
+    }
+
+    fn backward(&mut self, input: &Tensor, _output: &Tensor, grad_out: &Tensor) -> Result<Tensor> {
+        Ok(grad_out.reshape(input.dims())?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flattens_and_restores() {
+        let mut l = Flatten::new("f");
+        let x = Tensor::zeros(&[2, 3, 4]);
+        let y = l.forward(&x).unwrap();
+        assert_eq!(y.dims(), &[24]);
+        let g = Tensor::full(&[24], 1.0);
+        let dx = l.backward(&x, &y, &g).unwrap();
+        assert_eq!(dx.dims(), &[2, 3, 4]);
+    }
+}

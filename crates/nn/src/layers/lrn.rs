@@ -1,0 +1,184 @@
+//! Local response normalization (across channels, Caffe semantics).
+
+use crate::{Layer, NnError, Result};
+use redeye_tensor::Tensor;
+
+/// Across-channel local response normalization:
+///
+/// `y[c] = x[c] / (k + (α/n)·Σ_{c'∈window(c)} x[c']²)^β`
+///
+/// where the window spans `n` channels centred on `c`. GoogLeNet and AlexNet
+/// both use LRN in their early (RedEye-resident) stages; RedEye realizes it
+/// by letting the max-pooling module's sample adjust convolutional weights
+/// for the next cycle (§III-B ③), which is functionally this computation.
+#[derive(Debug, Clone)]
+pub struct Lrn {
+    name: String,
+    size: usize,
+    alpha: f32,
+    beta: f32,
+    k: f32,
+}
+
+impl Lrn {
+    /// Creates an LRN layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadSpec`] if `size` is zero.
+    pub fn new(
+        name: impl Into<String>,
+        size: usize,
+        alpha: f32,
+        beta: f32,
+        k: f32,
+    ) -> Result<Self> {
+        if size == 0 {
+            return Err(NnError::BadSpec {
+                reason: "LRN window size must be positive".into(),
+            });
+        }
+        Ok(Lrn {
+            name: name.into(),
+            size,
+            alpha,
+            beta,
+            k,
+        })
+    }
+
+    /// Denominator base `k + (α/n)·Σ x²` for every element.
+    fn denominators(&self, input: &Tensor) -> Result<Vec<f32>> {
+        let dims = input.dims();
+        if dims.len() != 3 {
+            return Err(NnError::BadInput {
+                layer: self.name.clone(),
+                reason: format!("LRN expects CxHxW input, got {dims:?}"),
+            });
+        }
+        let (c, h, w) = (dims[0], dims[1], dims[2]);
+        let half = self.size / 2;
+        let plane = h * w;
+        let src = input.as_slice();
+        let mut denom = vec![0.0f32; c * plane];
+        for ci in 0..c {
+            let lo = ci.saturating_sub(half);
+            let hi = (ci + half).min(c - 1);
+            for p in 0..plane {
+                let mut acc = 0.0f32;
+                for cj in lo..=hi {
+                    let v = src[cj * plane + p];
+                    acc += v * v;
+                }
+                denom[ci * plane + p] = self.k + self.alpha / self.size as f32 * acc;
+            }
+        }
+        Ok(denom)
+    }
+}
+
+impl Layer for Lrn {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        let denom = self.denominators(input)?;
+        let data = input
+            .iter()
+            .zip(denom.iter())
+            .map(|(&x, &d)| x * d.powf(-self.beta))
+            .collect();
+        Ok(Tensor::from_vec(data, input.dims())?)
+    }
+
+    fn backward(&mut self, input: &Tensor, output: &Tensor, grad_out: &Tensor) -> Result<Tensor> {
+        // dx[j] = g[j]·d[j]^-β − (2αβ/n)·x[j]·Σ_{c: j∈window(c)} g[c]·y[c]/d[c]
+        let denom = self.denominators(input)?;
+        let dims = input.dims();
+        let (c, h, w) = (dims[0], dims[1], dims[2]);
+        let half = self.size / 2;
+        let plane = h * w;
+        let x = input.as_slice();
+        let y = output.as_slice();
+        let g = grad_out.as_slice();
+        // ratio[c] = g[c]·y[c]/d[c]
+        let ratio: Vec<f32> = (0..c * plane).map(|i| g[i] * y[i] / denom[i]).collect();
+        let mut grad_in = vec![0.0f32; c * plane];
+        let scale = 2.0 * self.alpha * self.beta / self.size as f32;
+        for cj in 0..c {
+            // channels whose window contains cj
+            let lo = cj.saturating_sub(half);
+            let hi = (cj + half).min(c - 1);
+            for p in 0..plane {
+                let j = cj * plane + p;
+                let mut cross = 0.0f32;
+                for ci in lo..=hi {
+                    cross += ratio[ci * plane + p];
+                }
+                grad_in[j] = g[j] * denom[j].powf(-self.beta) - scale * x[j] * cross;
+            }
+        }
+        Ok(Tensor::from_vec(grad_in, input.dims())?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redeye_tensor::Rng;
+
+    #[test]
+    fn normalizes_large_activations_down() {
+        let mut l = Lrn::new("n", 5, 1e-1, 0.75, 1.0).unwrap();
+        let x = Tensor::full(&[4, 2, 2], 10.0);
+        let y = l.forward(&x).unwrap();
+        assert!(y.iter().all(|&v| v < 10.0 && v > 0.0));
+    }
+
+    #[test]
+    fn identity_when_alpha_zero() {
+        let mut l = Lrn::new("n", 5, 0.0, 0.75, 1.0).unwrap();
+        let mut rng = Rng::seed_from(1);
+        let x = Tensor::uniform(&[3, 2, 2], -1.0, 1.0, &mut rng);
+        let y = l.forward(&x).unwrap();
+        for (a, b) in x.iter().zip(y.iter()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rejects_flat_input() {
+        let mut l = Lrn::new("n", 5, 0.1, 0.75, 1.0).unwrap();
+        assert!(l.forward(&Tensor::zeros(&[10])).is_err());
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        assert!(Lrn::new("n", 0, 0.1, 0.75, 1.0).is_err());
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut l = Lrn::new("n", 3, 0.5, 0.75, 2.0).unwrap();
+        let mut rng = Rng::seed_from(2);
+        let x = Tensor::uniform(&[4, 2, 2], 0.2, 1.0, &mut rng);
+        let y = l.forward(&x).unwrap();
+        let ones = Tensor::full(y.dims(), 1.0);
+        let dx = l.backward(&x, &y, &ones).unwrap();
+        let eps = 1e-3f32;
+        for idx in [0usize, 5, 9, 15] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let numeric =
+                (l.forward(&xp).unwrap().sum() - l.forward(&xm).unwrap().sum()) / (2.0 * eps);
+            let analytic = dx.as_slice()[idx];
+            assert!(
+                (numeric - analytic).abs() < 2e-2,
+                "grad at {idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Concrete layer implementations.
+
+mod activation;
+mod conv;
+mod dropout;
+mod flatten;
+mod linear;
+mod lrn;
+mod pool;
+mod softmax;
+
+pub use activation::Relu;
+pub use conv::Conv2d;
+pub use dropout::Dropout;
+pub use flatten::Flatten;
+pub use linear::Linear;
+pub use lrn::Lrn;
+pub use pool::{AvgPool2d, MaxPool2d};
+pub use softmax::Softmax;

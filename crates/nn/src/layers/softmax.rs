@@ -1,0 +1,89 @@
+//! Softmax layer.
+
+use crate::{Layer, Result};
+use redeye_tensor::Tensor;
+
+/// Numerically-stable softmax over a flat feature vector.
+#[derive(Debug, Clone)]
+pub struct Softmax {
+    name: String,
+}
+
+impl Softmax {
+    /// Creates a softmax layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        Softmax { name: name.into() }
+    }
+}
+
+impl Layer for Softmax {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        crate::softmax(input)
+    }
+
+    fn backward(&mut self, _input: &Tensor, output: &Tensor, grad_out: &Tensor) -> Result<Tensor> {
+        // dx = y ⊙ (g − ⟨g, y⟩)
+        let dot: f32 = grad_out.iter().zip(output.iter()).map(|(g, y)| g * y).sum();
+        let data = output
+            .iter()
+            .zip(grad_out.iter())
+            .map(|(&y, &g)| y * (g - dot))
+            .collect();
+        Ok(Tensor::from_vec(data, output.dims())?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outputs_sum_to_one() {
+        let mut l = Softmax::new("sm");
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        let y = l.forward(&x).unwrap();
+        assert!((y.sum() - 1.0).abs() < 1e-6);
+        assert!(y.iter().all(|&v| v > 0.0));
+        // Monotone: larger logit, larger probability.
+        assert!(y.as_slice()[2] > y.as_slice()[1]);
+    }
+
+    #[test]
+    fn stable_for_large_logits() {
+        let mut l = Softmax::new("sm");
+        let x = Tensor::from_vec(vec![1000.0, 1000.0], &[2]).unwrap();
+        let y = l.forward(&x).unwrap();
+        assert!((y.as_slice()[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut l = Softmax::new("sm");
+        let x = Tensor::from_vec(vec![0.3, -0.7, 1.1, 0.0], &[4]).unwrap();
+        let y = l.forward(&x).unwrap();
+        // Use loss = sum of squares of softmax outputs for a non-trivial grad.
+        let g = y.scale(2.0);
+        let dx = l.backward(&x, &y, &g).unwrap();
+        let eps = 1e-3f32;
+        for idx in 0..4 {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let f = |t: &Tensor| -> f32 {
+                let mut sm = Softmax::new("t");
+                sm.forward(t).unwrap().iter().map(|v| v * v).sum()
+            };
+            let numeric = (f(&xp) - f(&xm)) / (2.0 * eps);
+            assert!(
+                (numeric - dx.as_slice()[idx]).abs() < 1e-3,
+                "grad {idx}: numeric {numeric} vs {}",
+                dx.as_slice()[idx]
+            );
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Softmax and cross-entropy loss.
+
+use crate::{NnError, Result};
+use redeye_tensor::Tensor;
+
+/// Numerically-stable softmax over a flat vector.
+///
+/// # Errors
+///
+/// Returns an error for an empty input.
+pub fn softmax(logits: &Tensor) -> Result<Tensor> {
+    if logits.is_empty() {
+        return Err(NnError::Tensor(redeye_tensor::TensorError::Empty));
+    }
+    let max = logits.max()?;
+    let exps: Vec<f32> = logits.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    let data = exps.into_iter().map(|v| v / sum).collect();
+    Ok(Tensor::from_vec(data, logits.dims())?)
+}
+
+/// Cross-entropy of the true `label` under `softmax(logits)`.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadInput`] if `label` is out of range.
+pub fn cross_entropy_from_logits(logits: &Tensor, label: usize) -> Result<f32> {
+    if label >= logits.len() {
+        return Err(NnError::BadInput {
+            layer: "loss".into(),
+            reason: format!("label {label} out of range for {} classes", logits.len()),
+        });
+    }
+    let probs = softmax(logits)?;
+    Ok(-probs.as_slice()[label].max(1e-12).ln())
+}
+
+/// Fused softmax + cross-entropy head used for training.
+///
+/// Working on *logits* (rather than a softmax layer followed by a
+/// log-loss) keeps the gradient the numerically benign `p − onehot(label)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SoftmaxCrossEntropy;
+
+impl SoftmaxCrossEntropy {
+    /// Creates the loss head.
+    pub fn new() -> Self {
+        SoftmaxCrossEntropy
+    }
+
+    /// Returns `(loss, grad_wrt_logits)` for one example.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`] if `label` is out of range.
+    pub fn loss_and_grad(&self, logits: &Tensor, label: usize) -> Result<(f32, Tensor)> {
+        if label >= logits.len() {
+            return Err(NnError::BadInput {
+                layer: "loss".into(),
+                reason: format!("label {label} out of range for {} classes", logits.len()),
+            });
+        }
+        let probs = softmax(logits)?;
+        let loss = -probs.as_slice()[label].max(1e-12).ln();
+        let mut grad = probs;
+        grad.as_mut_slice()[label] -= 1.0;
+        Ok((loss, grad))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_uniform_for_equal_logits() {
+        let l = Tensor::full(&[4], 3.0);
+        let p = softmax(&l).unwrap();
+        assert!(p.iter().all(|&v| (v - 0.25).abs() < 1e-6));
+    }
+
+    #[test]
+    fn loss_low_when_confidently_correct() {
+        let logits = Tensor::from_vec(vec![10.0, 0.0, 0.0], &[3]).unwrap();
+        let good = cross_entropy_from_logits(&logits, 0).unwrap();
+        let bad = cross_entropy_from_logits(&logits, 1).unwrap();
+        assert!(good < 0.01);
+        assert!(bad > 5.0);
+    }
+
+    #[test]
+    fn label_out_of_range_rejected() {
+        let logits = Tensor::zeros(&[3]);
+        assert!(cross_entropy_from_logits(&logits, 3).is_err());
+    }
+
+    #[test]
+    fn grad_is_probs_minus_onehot() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 0.5], &[3]).unwrap();
+        let (_, grad) = SoftmaxCrossEntropy::new()
+            .loss_and_grad(&logits, 1)
+            .unwrap();
+        let probs = softmax(&logits).unwrap();
+        assert!((grad.as_slice()[0] - probs.as_slice()[0]).abs() < 1e-6);
+        assert!((grad.as_slice()[1] - (probs.as_slice()[1] - 1.0)).abs() < 1e-6);
+        // Gradient sums to zero.
+        assert!(grad.sum().abs() < 1e-6);
+    }
+
+    #[test]
+    fn grad_matches_finite_differences() {
+        let logits = Tensor::from_vec(vec![0.2, -0.4, 0.9, 0.0], &[4]).unwrap();
+        let head = SoftmaxCrossEntropy::new();
+        let (_, grad) = head.loss_and_grad(&logits, 2).unwrap();
+        let eps = 1e-3f32;
+        for idx in 0..4 {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[idx] -= eps;
+            let numeric = (cross_entropy_from_logits(&lp, 2).unwrap()
+                - cross_entropy_from_logits(&lm, 2).unwrap())
+                / (2.0 * eps);
+            assert!((numeric - grad.as_slice()[idx]).abs() < 1e-3, "grad {idx}");
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! Declarative network descriptions.
+//!
+//! A [`NetworkSpec`] is a linear chain of [`LayerSpec`]s (inception modules
+//! appear as a single `Inception` element holding parallel branches). This
+//! mirrors the structure RedEye can execute — a linear chain of
+//! convolution/pool/LRN stages — and is the unit the partitioner cuts.
+
+use serde::{Deserialize, Serialize};
+
+/// One layer of a ConvNet, described declaratively.
+///
+/// Shapes are not stored here; they are derived by propagating the network's
+/// input shape (see [`crate::summarize`]). Every layer has a `name` used for
+/// partition cuts, reporting, and error messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LayerSpec {
+    /// 2-D convolution with optional fused rectification.
+    ///
+    /// RedEye's convolutional module performs rectification by clipping at
+    /// signal swing, so `relu` is part of the conv description.
+    Conv {
+        /// Layer name (e.g. `"conv1"`).
+        name: String,
+        /// Output channels.
+        out_c: usize,
+        /// Square kernel extent.
+        kernel: usize,
+        /// Stride in both axes.
+        stride: usize,
+        /// Zero padding on all sides.
+        pad: usize,
+        /// Whether a ReLU follows the convolution.
+        relu: bool,
+    },
+    /// Max pooling over a square window (Caffe ceil-mode geometry).
+    MaxPool {
+        /// Layer name.
+        name: String,
+        /// Window extent.
+        window: usize,
+        /// Stride.
+        stride: usize,
+        /// Padding.
+        pad: usize,
+    },
+    /// Average pooling over a square window.
+    AvgPool {
+        /// Layer name.
+        name: String,
+        /// Window extent.
+        window: usize,
+        /// Stride.
+        stride: usize,
+        /// Padding.
+        pad: usize,
+    },
+    /// Local response normalization (across channels, Caffe semantics).
+    Lrn {
+        /// Layer name.
+        name: String,
+        /// Channel neighbourhood size.
+        size: usize,
+        /// Scaling parameter α.
+        alpha: f32,
+        /// Exponent β.
+        beta: f32,
+        /// Bias constant k.
+        k: f32,
+    },
+    /// GoogLeNet inception module: parallel branches concatenated along the
+    /// channel axis. Each branch is itself a chain of `LayerSpec`s.
+    Inception {
+        /// Module name (e.g. `"inception_3a"`).
+        name: String,
+        /// The parallel branches.
+        branches: Vec<Vec<LayerSpec>>,
+    },
+    /// Flattens `C×H×W` into a rank-1 feature vector.
+    Flatten {
+        /// Layer name.
+        name: String,
+    },
+    /// Fully-connected layer with optional fused rectification.
+    Linear {
+        /// Layer name.
+        name: String,
+        /// Output features.
+        out: usize,
+        /// Whether a ReLU follows.
+        relu: bool,
+    },
+    /// Dropout. Identity at inference; randomly zeroes activations while
+    /// training.
+    Dropout {
+        /// Layer name.
+        name: String,
+        /// Drop probability.
+        p: f32,
+    },
+    /// Softmax over the feature vector.
+    Softmax {
+        /// Layer name.
+        name: String,
+    },
+}
+
+impl LayerSpec {
+    /// The layer's name.
+    pub fn name(&self) -> &str {
+        match self {
+            LayerSpec::Conv { name, .. }
+            | LayerSpec::MaxPool { name, .. }
+            | LayerSpec::AvgPool { name, .. }
+            | LayerSpec::Lrn { name, .. }
+            | LayerSpec::Inception { name, .. }
+            | LayerSpec::Flatten { name }
+            | LayerSpec::Linear { name, .. }
+            | LayerSpec::Dropout { name, .. }
+            | LayerSpec::Softmax { name } => name,
+        }
+    }
+
+    /// Whether RedEye's analog modules can execute this layer.
+    ///
+    /// RedEye implements convolution (with clipped rectification), max
+    /// pooling, normalization (folded into convolutional weights, §III-B),
+    /// and inception concatenation (parallel convolutions writing disjoint
+    /// channel groups). Fully-connected layers, dropout, and softmax remain
+    /// on the digital host.
+    pub fn analog_executable(&self) -> bool {
+        match self {
+            LayerSpec::Conv { .. }
+            | LayerSpec::MaxPool { .. }
+            | LayerSpec::AvgPool { .. }
+            | LayerSpec::Lrn { .. } => true,
+            LayerSpec::Inception { branches, .. } => branches
+                .iter()
+                .all(|b| b.iter().all(LayerSpec::analog_executable)),
+            LayerSpec::Flatten { .. }
+            | LayerSpec::Linear { .. }
+            | LayerSpec::Dropout { .. }
+            | LayerSpec::Softmax { .. } => false,
+        }
+    }
+}
+
+/// A complete network: an input shape plus a chain of layers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkSpec {
+    /// Human-readable network name (e.g. `"googlenet"`).
+    pub name: String,
+    /// Input shape as `[channels, height, width]`.
+    pub input: [usize; 3],
+    /// The layer chain.
+    pub layers: Vec<LayerSpec>,
+}
+
+impl NetworkSpec {
+    /// Creates a spec from its parts.
+    pub fn new(name: impl Into<String>, input: [usize; 3], layers: Vec<LayerSpec>) -> Self {
+        NetworkSpec {
+            name: name.into(),
+            input,
+            layers,
+        }
+    }
+
+    /// Position (index of the layer *after* the cut) of the named layer, i.e.
+    /// cutting at `name` keeps layers `0..=pos` in the prefix.
+    pub fn position_of(&self, name: &str) -> Option<usize> {
+        self.layers.iter().position(|l| l.name() == name)
+    }
+
+    /// The prefix of the network up to and including the named layer.
+    ///
+    /// Returns `None` if no layer has that name.
+    pub fn prefix_through(&self, name: &str) -> Option<NetworkSpec> {
+        let pos = self.position_of(name)?;
+        Some(NetworkSpec {
+            name: format!("{}[..={}]", self.name, name),
+            input: self.input,
+            layers: self.layers[..=pos].to_vec(),
+        })
+    }
+
+    /// The suffix of the network strictly after the named layer.
+    ///
+    /// Returns `None` if no layer has that name. The suffix's `input` field
+    /// is not meaningful on its own; pair it with the prefix's output shape.
+    pub fn suffix_after(&self, name: &str) -> Option<NetworkSpec> {
+        let pos = self.position_of(name)?;
+        Some(NetworkSpec {
+            name: format!("{}[{}..]", self.name, name),
+            input: self.input,
+            layers: self.layers[pos + 1..].to_vec(),
+        })
+    }
+
+    /// Names of all top-level layers in order.
+    pub fn layer_names(&self) -> Vec<&str> {
+        self.layers.iter().map(LayerSpec::name).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv(name: &str) -> LayerSpec {
+        LayerSpec::Conv {
+            name: name.into(),
+            out_c: 8,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+            relu: true,
+        }
+    }
+
+    fn tiny_spec() -> NetworkSpec {
+        NetworkSpec::new(
+            "tiny",
+            [3, 8, 8],
+            vec![
+                conv("c1"),
+                LayerSpec::MaxPool {
+                    name: "p1".into(),
+                    window: 2,
+                    stride: 2,
+                    pad: 0,
+                },
+                conv("c2"),
+                LayerSpec::Flatten {
+                    name: "flat".into(),
+                },
+                LayerSpec::Linear {
+                    name: "fc".into(),
+                    out: 10,
+                    relu: false,
+                },
+                LayerSpec::Softmax {
+                    name: "prob".into(),
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn prefix_and_suffix_partition() {
+        let spec = tiny_spec();
+        let prefix = spec.prefix_through("p1").unwrap();
+        let suffix = spec.suffix_after("p1").unwrap();
+        assert_eq!(prefix.layers.len(), 2);
+        assert_eq!(suffix.layers.len(), 4);
+        assert_eq!(prefix.layers.len() + suffix.layers.len(), spec.layers.len());
+        assert!(spec.prefix_through("nope").is_none());
+    }
+
+    #[test]
+    fn analog_executability() {
+        let spec = tiny_spec();
+        assert!(spec.layers[0].analog_executable());
+        assert!(spec.layers[1].analog_executable());
+        assert!(!spec.layers[4].analog_executable());
+        let inception = LayerSpec::Inception {
+            name: "i".into(),
+            branches: vec![vec![conv("b1")], vec![conv("b2")]],
+        };
+        assert!(inception.analog_executable());
+        let bad = LayerSpec::Inception {
+            name: "i".into(),
+            branches: vec![vec![LayerSpec::Softmax { name: "s".into() }]],
+        };
+        assert!(!bad.analog_executable());
+    }
+
+    #[test]
+    fn spec_serializes_round_trip() {
+        let spec = tiny_spec();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: NetworkSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn layer_names_in_order() {
+        assert_eq!(
+            tiny_spec().layer_names(),
+            vec!["c1", "p1", "c2", "flat", "fc", "prob"]
+        );
+    }
+}

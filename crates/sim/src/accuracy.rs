@@ -1,0 +1,177 @@
+//! Multi-threaded Top-k accuracy evaluation.
+//!
+//! The paper runs its modified network over the 50 000-image validation set
+//! and reports Top-5 accuracy (N = 2500 for the Fig. 9/10 sweeps). This
+//! harness does the same over the synthetic validation set, sharding images
+//! across threads; networks are not `Clone` (they hold RNG state), so each
+//! worker builds its own instrumented instance.
+
+use crate::Result;
+use redeye_dataset::metrics::TopKAccuracy;
+use redeye_nn::Network;
+use redeye_tensor::Tensor;
+
+/// Accuracy over a validation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyReport {
+    /// Top-1 accuracy.
+    pub top1: f32,
+    /// Top-5 accuracy (the paper's headline metric).
+    pub top5: f32,
+    /// Images evaluated.
+    pub samples: usize,
+}
+
+/// The evaluation harness: a labeled validation set plus a thread budget.
+pub struct AccuracyHarness {
+    examples: Vec<(Tensor, usize)>,
+    threads: usize,
+}
+
+impl AccuracyHarness {
+    /// Creates a harness over pre-generated `(input, label)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(examples: Vec<(Tensor, usize)>, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one worker thread");
+        AccuracyHarness { examples, threads }
+    }
+
+    /// Number of validation examples.
+    pub fn len(&self) -> usize {
+        self.examples.len()
+    }
+
+    /// Whether the validation set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.examples.is_empty()
+    }
+
+    /// Evaluates Top-1/Top-5 accuracy of networks produced by `build`.
+    ///
+    /// `build` is called once per worker thread; each instance sees a
+    /// disjoint shard of the validation set. Scores may be logits or
+    /// probabilities — only their ranking matters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first builder or inference error encountered.
+    pub fn evaluate<F>(&self, build: F) -> Result<AccuracyReport>
+    where
+        F: Fn(usize) -> Result<Network> + Sync,
+    {
+        let threads = self.threads.min(self.examples.len()).max(1);
+        let shard_size = self.examples.len().div_ceil(threads);
+        let shards: Vec<&[(Tensor, usize)]> = self.examples.chunks(shard_size).collect();
+        let results = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter()
+                .enumerate()
+                .map(|(worker, shard)| {
+                    let build = &build;
+                    scope.spawn(move |_| -> Result<(TopKAccuracy, TopKAccuracy)> {
+                        let mut net = build(worker)?;
+                        net.set_training(false);
+                        let mut top1 = TopKAccuracy::new(1);
+                        let mut top5 = TopKAccuracy::new(5);
+                        for (input, label) in shard.iter() {
+                            let scores = net.forward(input).map_err(crate::SimError::from)?;
+                            top1.observe(&scores, *label);
+                            top5.observe(&scores, *label);
+                        }
+                        Ok((top1, top5))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect::<Result<Vec<_>>>()
+        })
+        .expect("evaluation scope")?;
+
+        let mut top1 = TopKAccuracy::new(1);
+        let mut top5 = TopKAccuracy::new(5);
+        for (t1, t5) in &results {
+            top1.merge(t1);
+            top5.merge(t5);
+        }
+        Ok(AccuracyReport {
+            top1: top1.accuracy(),
+            top5: top5.accuracy(),
+            samples: top1.count() as usize,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redeye_nn::layers::Flatten;
+    use redeye_nn::Node;
+
+    /// A "network" that just flattens — predictions equal pixel values, so
+    /// accuracy is deterministic given crafted inputs.
+    fn identity_net() -> Network {
+        Network::from_nodes("id", vec![Node::Layer(Box::new(Flatten::new("f")))])
+    }
+
+    fn onehot_examples(n: usize, classes: usize) -> Vec<(Tensor, usize)> {
+        (0..n)
+            .map(|i| {
+                let label = i % classes;
+                let mut t = Tensor::zeros(&[classes]);
+                t.as_mut_slice()[label] = 1.0;
+                (t, label)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn perfect_predictions_score_one() {
+        let harness = AccuracyHarness::new(onehot_examples(64, 10), 4);
+        let report = harness.evaluate(|_| Ok(identity_net())).unwrap();
+        assert_eq!(report.samples, 64);
+        assert_eq!(report.top1, 1.0);
+        assert_eq!(report.top5, 1.0);
+    }
+
+    #[test]
+    fn wrong_predictions_score_by_rank() {
+        // Inputs put the mass on (label+1) % 10: top-1 always wrong, but the
+        // true label ties at zero with 8 others — not reliably in top-5.
+        let examples: Vec<(Tensor, usize)> = (0..40)
+            .map(|i| {
+                let label = i % 10;
+                let mut t = Tensor::zeros(&[10]);
+                t.as_mut_slice()[(label + 1) % 10] = 1.0;
+                (t, label)
+            })
+            .collect();
+        let harness = AccuracyHarness::new(examples, 3);
+        let report = harness.evaluate(|_| Ok(identity_net())).unwrap();
+        assert_eq!(report.top1, 0.0);
+    }
+
+    #[test]
+    fn sharding_covers_every_example() {
+        for threads in [1, 2, 3, 7] {
+            let harness = AccuracyHarness::new(onehot_examples(50, 10), threads);
+            let report = harness.evaluate(|_| Ok(identity_net())).unwrap();
+            assert_eq!(report.samples, 50, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn builder_errors_propagate() {
+        let harness = AccuracyHarness::new(onehot_examples(8, 4), 2);
+        let err = harness.evaluate(|_| {
+            Err(crate::SimError::ParamMismatch {
+                reason: "boom".into(),
+            })
+        });
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,82 @@
+//! Error type for the simulation framework.
+
+use redeye_nn::NnError;
+use redeye_tensor::TensorError;
+use std::fmt;
+
+/// Error returned by instrumentation, evaluation, and search.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// An underlying network operation failed.
+    Nn(NnError),
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// The requested cut layer does not exist in the spec.
+    UnknownCut {
+        /// The cut name that failed to resolve.
+        name: String,
+    },
+    /// The trained parameter set does not match the spec being instrumented.
+    ParamMismatch {
+        /// Description of the mismatch.
+        reason: String,
+    },
+    /// A search was configured with an empty or inverted domain.
+    BadSearchDomain {
+        /// Description of the bad domain.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Nn(e) => write!(f, "network error: {e}"),
+            SimError::Tensor(e) => write!(f, "tensor error: {e}"),
+            SimError::UnknownCut { name } => write!(f, "unknown cut layer `{name}`"),
+            SimError::ParamMismatch { reason } => write!(f, "parameter mismatch: {reason}"),
+            SimError::BadSearchDomain { reason } => write!(f, "bad search domain: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Nn(e) => Some(e),
+            SimError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for SimError {
+    fn from(e: NnError) -> Self {
+        SimError::Nn(e)
+    }
+}
+
+impl From<TensorError> for SimError {
+    fn from(e: TensorError) -> Self {
+        SimError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+
+    #[test]
+    fn display_names_the_cut() {
+        let e = SimError::UnknownCut {
+            name: "pool9".into(),
+        };
+        assert!(e.to_string().contains("pool9"));
+    }
+}

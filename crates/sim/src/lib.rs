@@ -1,0 +1,42 @@
+//! The RedEye developer simulation framework (paper §III-D).
+//!
+//! "Paramount to a developer's ConvNet programming decisions is a prediction
+//! of the accuracy and energy efficiency of running a given ConvNet on
+//! RedEye." The paper built this by patching Caffe with two new layer types;
+//! this crate does the same to the `redeye-nn` framework:
+//!
+//! - [`GaussianNoise`] — the *Gaussian Noise Layer*, inserted after each
+//!   sampling, convolutional, and normalization layer, parameterized by SNR;
+//! - [`QuantizationNoise`] — the *Quantization Noise Layer*, inserted where
+//!   RedEye outputs the signal's digital representation, parameterized by
+//!   ADC resolution;
+//! - [`instrument`] — splices those layers into a trained network at a
+//!   partition cut (recursing into inception branches) and quantizes the
+//!   analog-resident weights to the 8-bit DAC grid;
+//! - [`AccuracyHarness`] — Top-k accuracy evaluation over the synthetic
+//!   validation set, multi-threaded with one instrumented network per
+//!   worker;
+//! - [`search`] — the Nelder–Mead simplex the paper cites for the general
+//!   `ℝ^(n+1)` noise-parameter search, plus the reduced one-dimensional
+//!   quantization scan it actually needs for GoogLeNet;
+//! - [`privacy`] — the §VII feature-inversion attack and its quantified
+//!   reconstruction error (a future-work direction of the paper, implemented
+//!   here).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accuracy;
+mod error;
+mod instrument;
+mod noise;
+pub mod privacy;
+pub mod search;
+
+pub use accuracy::{AccuracyHarness, AccuracyReport};
+pub use error::SimError;
+pub use instrument::{extract_params, instrument, load_params, InstrumentOptions};
+pub use noise::{GaussianNoise, QuantizationNoise};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SimError>;

@@ -1,0 +1,175 @@
+//! The paper's two injected noise layer types (§III-D).
+
+use redeye_analog::SnrDb;
+use redeye_nn::Layer;
+use redeye_tensor::{Rng, Tensor};
+
+/// The *Gaussian Noise Layer*: "models noise inflicted by data transactions
+/// and computational operations", parameterized by SNR relative to the
+/// layer's signal power.
+///
+/// Implements [`redeye_nn::Layer`], so it splices into any network. During
+/// backpropagation it is treated as identity (noise is not differentiated
+/// through), which also enables noise-aware training experiments.
+#[derive(Debug)]
+pub struct GaussianNoise {
+    name: String,
+    snr: SnrDb,
+    rng: Rng,
+}
+
+impl GaussianNoise {
+    /// Creates a noise layer at the given SNR.
+    pub fn new(name: impl Into<String>, snr: SnrDb, rng: Rng) -> Self {
+        GaussianNoise {
+            name: name.into(),
+            snr,
+            rng,
+        }
+    }
+
+    /// The configured SNR.
+    pub fn snr(&self) -> SnrDb {
+        self.snr
+    }
+}
+
+impl Layer for GaussianNoise {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor) -> redeye_nn::Result<Tensor> {
+        let rms = input.power().map(f32::sqrt).unwrap_or(0.0);
+        if rms == 0.0 {
+            return Ok(input.clone());
+        }
+        let sigma = rms / self.snr.amplitude_ratio() as f32;
+        let mut out = input.clone();
+        for v in out.iter_mut() {
+            *v += sigma * self.rng.standard_normal();
+        }
+        Ok(out)
+    }
+}
+
+/// The *Quantization Noise Layer*: "represents error introduced at the
+/// circuit output by truncating to finite ADC resolution", modeled as the
+/// paper does — uniform quantization error across the signal at `q` bits.
+///
+/// Values are quantized on a mid-rise grid over `[0, max]` (features at the
+/// cut are post-rectification, so non-negative; negative residues clip at
+/// the lower rail, as the circuit's rails do).
+#[derive(Debug, Clone)]
+pub struct QuantizationNoise {
+    name: String,
+    bits: u32,
+}
+
+impl QuantizationNoise {
+    /// Creates a quantization layer at the given ADC resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ bits ≤ 16`.
+    pub fn new(name: impl Into<String>, bits: u32) -> Self {
+        assert!((1..=16).contains(&bits), "ADC bits {bits} out of range");
+        QuantizationNoise {
+            name: name.into(),
+            bits,
+        }
+    }
+
+    /// The configured resolution.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+}
+
+impl Layer for QuantizationNoise {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor) -> redeye_nn::Result<Tensor> {
+        let vmax = input.iter().fold(0.0f32, |m, &v| m.max(v));
+        if vmax == 0.0 {
+            return Ok(input.clone());
+        }
+        let levels = 2f32.powi(self.bits as i32);
+        let out = input.map(|v| {
+            let x = (v.max(0.0) / vmax * levels).floor().min(levels - 1.0);
+            (x + 0.5) / levels * vmax
+        });
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_noise_hits_target_snr() {
+        let mut layer = GaussianNoise::new("g", SnrDb::new(20.0), Rng::seed_from(1));
+        let input = Tensor::full(&[20_000], 1.0);
+        let out = layer.forward(&input).unwrap();
+        let err_power = out.iter().map(|v| (v - 1.0).powi(2)).sum::<f32>() / out.len() as f32;
+        let snr = 10.0 * (1.0 / err_power).log10();
+        assert!((snr - 20.0).abs() < 0.5, "measured {snr} dB");
+    }
+
+    #[test]
+    fn gaussian_noise_on_zeros_is_identity() {
+        let mut layer = GaussianNoise::new("g", SnrDb::new(40.0), Rng::seed_from(2));
+        let input = Tensor::zeros(&[16]);
+        assert_eq!(layer.forward(&input).unwrap(), input);
+    }
+
+    #[test]
+    fn high_snr_is_nearly_transparent() {
+        let mut layer = GaussianNoise::new("g", SnrDb::new(80.0), Rng::seed_from(3));
+        let mut rng = Rng::seed_from(4);
+        let input = Tensor::uniform(&[1000], 0.0, 1.0, &mut rng);
+        let out = layer.forward(&input).unwrap();
+        assert!(input.rms_error(&out).unwrap() < 1e-3);
+    }
+
+    #[test]
+    fn quantization_error_bounded_by_half_lsb() {
+        let mut layer = QuantizationNoise::new("q", 4);
+        let mut rng = Rng::seed_from(5);
+        let input = Tensor::uniform(&[1000], 0.0, 1.0, &mut rng);
+        let out = layer.forward(&input).unwrap();
+        let vmax = input.max().unwrap();
+        let lsb = vmax / 16.0;
+        for (a, b) in input.iter().zip(out.iter()) {
+            assert!((a - b).abs() <= lsb / 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn more_bits_less_quantization_error() {
+        let mut rng = Rng::seed_from(6);
+        let input = Tensor::uniform(&[2000], 0.0, 1.0, &mut rng);
+        let err = |bits| {
+            let mut l = QuantizationNoise::new("q", bits);
+            input.rms_error(&l.forward(&input).unwrap()).unwrap()
+        };
+        assert!(err(2) > 3.0 * err(6));
+    }
+
+    #[test]
+    fn quantization_clips_negatives_to_lowest_level() {
+        let mut layer = QuantizationNoise::new("q", 2);
+        let input = Tensor::from_vec(vec![-1.0, 0.0, 1.0], &[3]).unwrap();
+        let out = layer.forward(&input).unwrap();
+        assert_eq!(out.as_slice()[0], out.as_slice()[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_bits_panics() {
+        QuantizationNoise::new("q", 0);
+    }
+}

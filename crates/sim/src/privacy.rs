@@ -1,0 +1,238 @@
+//! Feature-inversion privacy analysis (paper §VII, *Privacy of continuous
+//! mobile vision*).
+//!
+//! RedEye discards the raw image and exports only quantized features, which
+//! the paper proposes as a privacy mechanism: "using techniques such as
+//! [Mahendran & Vedaldi] to generate a quantified reconstruction error, we
+//! can train a ConvNet to guarantee image irreversibility." This module
+//! implements that quantified reconstruction error: gradient-based feature
+//! inversion (optimize an input until its features match the exported
+//! ones), and the RMS reconstruction error against the true frame. Deeper
+//! cuts and coarser quantization should — and, in the tests, do — make
+//! reconstruction worse.
+
+use crate::{Result, SimError};
+use redeye_nn::Network;
+use redeye_tensor::{Rng, Tensor};
+
+/// Options for gradient-based feature inversion.
+#[derive(Debug, Clone, Copy)]
+pub struct InversionOptions {
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Step size.
+    pub learning_rate: f32,
+    /// Momentum on the input update.
+    pub momentum: f32,
+    /// Pixel range the reconstruction is clamped into.
+    pub pixel_range: (f32, f32),
+    /// Seed for the random starting image.
+    pub seed: u64,
+}
+
+impl Default for InversionOptions {
+    fn default() -> Self {
+        InversionOptions {
+            iterations: 400,
+            learning_rate: 10.0,
+            momentum: 0.9,
+            pixel_range: (0.0, 1.0),
+            seed: 0,
+        }
+    }
+}
+
+/// Result of a feature-inversion attack.
+#[derive(Debug, Clone)]
+pub struct Inversion {
+    /// The reconstructed input.
+    pub reconstruction: Tensor,
+    /// Final feature-space loss `‖f(x̂) − target‖²/len`.
+    pub feature_loss: f32,
+}
+
+/// Attempts to reconstruct the input whose features (under `prefix`)
+/// match `target`, by gradient descent from random noise.
+///
+/// `prefix` is the attacker's model of the RedEye pipeline — typically the
+/// instrumented prefix network including the quantization layer (gradients
+/// flow through noise/quantization layers as identity, the straight-through
+/// estimator).
+///
+/// # Errors
+///
+/// Returns [`SimError::ParamMismatch`] if `target`'s shape disagrees with
+/// the prefix output, or propagates layer errors.
+pub fn invert_features(
+    prefix: &mut Network,
+    target: &Tensor,
+    input_dims: &[usize],
+    opts: &InversionOptions,
+) -> Result<Inversion> {
+    let mut rng = Rng::seed_from(opts.seed);
+    let (lo, hi) = opts.pixel_range;
+    let mut x = Tensor::uniform(input_dims, lo, hi, &mut rng);
+    let mut velocity = Tensor::zeros(input_dims);
+    let mut last_loss = f32::INFINITY;
+    prefix.set_training(false);
+    for _ in 0..opts.iterations {
+        let trace = prefix.forward_trace(&x)?;
+        let out = trace.output();
+        if out.dims() != target.dims() {
+            return Err(SimError::ParamMismatch {
+                reason: format!(
+                    "feature shape {:?} vs target {:?}",
+                    out.dims(),
+                    target.dims()
+                ),
+            });
+        }
+        let diff = out.sub(target)?;
+        last_loss = diff.power()?;
+        // dL/dout = 2·(out − target)/len
+        let grad_out = diff.scale(2.0 / diff.len() as f32);
+        prefix.zero_grads();
+        let grad_in = prefix.backward(&trace, &grad_out)?;
+        for ((v, g), xi) in velocity.iter_mut().zip(grad_in.iter()).zip(x.iter_mut()) {
+            *v = opts.momentum * *v - opts.learning_rate * g;
+            *xi = (*xi + *v).clamp(lo, hi);
+        }
+    }
+    Ok(Inversion {
+        reconstruction: x,
+        feature_loss: last_loss,
+    })
+}
+
+/// The paper's "quantified reconstruction error": RMS pixel error between
+/// the true frame and the attacker's reconstruction, normalized by the RMS
+/// of the true frame (1.0 ≈ no information recovered).
+///
+/// # Errors
+///
+/// Returns a shape error if the tensors disagree.
+pub fn reconstruction_error(original: &Tensor, reconstruction: &Tensor) -> Result<f32> {
+    let rms = original.power()?.sqrt();
+    Ok(original.rms_error(reconstruction)? / rms.max(1e-9))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{extract_params, instrument, InstrumentOptions};
+    use redeye_analog::SnrDb;
+    use redeye_nn::{build_network, zoo, WeightInit};
+
+    /// An instrumented prefix-only network (quantization layer at the end).
+    fn prefix_pipeline(cut: &str, bits: u32, seed: u64) -> (Network, Vec<Tensor>) {
+        let full = zoo::micronet(4, 10);
+        let prefix_spec = full.prefix_through(cut).unwrap();
+        let mut rng = Rng::seed_from(seed);
+        let mut net = build_network(&prefix_spec, WeightInit::HeNormal, &mut rng).unwrap();
+        let params = extract_params(&mut net);
+        let opts = InstrumentOptions {
+            snr: SnrDb::new(60.0),
+            adc_bits: bits,
+            noise_input: false,
+            weight_bits: Some(8),
+            ..InstrumentOptions::paper_default(cut)
+        };
+        let instrumented = instrument(&prefix_spec, &params, &opts).unwrap();
+        (instrumented, params)
+    }
+
+    fn test_image() -> Tensor {
+        // A structured image: a bright square on dark background.
+        let mut t = Tensor::full(&[3, 32, 32], 0.1);
+        for c in 0..3 {
+            for y in 10..22 {
+                for x in 10..22 {
+                    t.set(&[c, y, x], 0.9).unwrap();
+                }
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn inversion_reduces_feature_loss() {
+        let (mut net, _) = prefix_pipeline("conv1", 8, 1);
+        let img = test_image();
+        let target = net.forward(&img).unwrap();
+        let short = invert_features(
+            &mut net,
+            &target,
+            &[3, 32, 32],
+            &InversionOptions {
+                iterations: 5,
+                ..InversionOptions::default()
+            },
+        )
+        .unwrap();
+        let long = invert_features(
+            &mut net,
+            &target,
+            &[3, 32, 32],
+            &InversionOptions {
+                iterations: 200,
+                ..InversionOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            long.feature_loss < short.feature_loss,
+            "more iterations should fit features better: {} vs {}",
+            long.feature_loss,
+            short.feature_loss
+        );
+    }
+
+    #[test]
+    fn shallow_cut_is_more_invertible_than_deep_cut() {
+        let img = test_image();
+        let err_at = |cut: &str| {
+            let (mut net, _) = prefix_pipeline(cut, 8, 2);
+            let target = net.forward(&img).unwrap();
+            let inv = invert_features(
+                &mut net,
+                &target,
+                &[3, 32, 32],
+                &InversionOptions {
+                    iterations: 400,
+                    learning_rate: 20.0,
+                    ..InversionOptions::default()
+                },
+            )
+            .unwrap();
+            reconstruction_error(&img, &inv.reconstruction).unwrap()
+        };
+        let shallow = err_at("conv1");
+        let deep = err_at("pool3");
+        assert!(
+            deep > shallow,
+            "deep cut should be harder to invert: conv1 {shallow} vs pool3 {deep}"
+        );
+    }
+
+    #[test]
+    fn mismatched_target_rejected() {
+        let (mut net, _) = prefix_pipeline("conv1", 8, 3);
+        let bad_target = Tensor::zeros(&[1, 2, 2]);
+        assert!(invert_features(
+            &mut net,
+            &bad_target,
+            &[3, 32, 32],
+            &InversionOptions {
+                iterations: 1,
+                ..InversionOptions::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn reconstruction_error_is_zero_for_identity() {
+        let img = test_image();
+        assert_eq!(reconstruction_error(&img, &img).unwrap(), 0.0);
+    }
+}

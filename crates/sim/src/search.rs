@@ -1,0 +1,250 @@
+//! Noise-parameter search (§III-D).
+//!
+//! "Developers should search for an optimal set of parameters that achieves
+//! task accuracy at minimal cost. In general, this is an intensive search
+//! over a parameter space of dimension ℝ^(n+1) … would typically require
+//! tools such as the canonical simplex search. However, for GoogLeNet
+//! processing, our evaluation reveals that we can accept as much Gaussian
+//! noise as each analog operation can admit (SNR > 40 dB). The problem,
+//! then, reduces to a single parameter selection, selecting an
+//! energy-optimal quantization q."
+//!
+//! Both tools live here: a dependency-free Nelder–Mead simplex
+//! ([`NelderMead`]) for the general case, and the reduced one-dimensional
+//! quantization scan ([`select_quantization`]).
+
+use crate::{Result, SimError};
+
+/// Options for the Nelder–Mead simplex search.
+#[derive(Debug, Clone, Copy)]
+pub struct NelderMeadOptions {
+    /// Maximum objective evaluations.
+    pub max_evals: usize,
+    /// Convergence tolerance on the simplex's objective spread.
+    pub tolerance: f64,
+    /// Initial simplex edge length.
+    pub initial_step: f64,
+}
+
+impl Default for NelderMeadOptions {
+    fn default() -> Self {
+        NelderMeadOptions {
+            max_evals: 500,
+            tolerance: 1e-8,
+            initial_step: 1.0,
+        }
+    }
+}
+
+/// Outcome of a simplex search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    /// Best point found.
+    pub best: Vec<f64>,
+    /// Objective value at the best point.
+    pub value: f64,
+    /// Objective evaluations spent.
+    pub evals: usize,
+}
+
+/// The canonical Nelder–Mead downhill-simplex minimizer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NelderMead {
+    options: NelderMeadOptions,
+}
+
+impl NelderMead {
+    /// Creates a minimizer with the given options.
+    pub fn new(options: NelderMeadOptions) -> Self {
+        NelderMead { options }
+    }
+
+    /// Minimizes `f` starting from `x0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadSearchDomain`] for an empty starting point.
+    pub fn minimize<F: FnMut(&[f64]) -> f64>(&self, mut f: F, x0: &[f64]) -> Result<SearchOutcome> {
+        let n = x0.len();
+        if n == 0 {
+            return Err(SimError::BadSearchDomain {
+                reason: "empty starting point".into(),
+            });
+        }
+        let opts = &self.options;
+        let mut evals = 0usize;
+        let mut eval = |x: &[f64], evals: &mut usize| {
+            *evals += 1;
+            f(x)
+        };
+
+        // Initial simplex: x0 plus a step along each axis.
+        let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+        let v0 = eval(x0, &mut evals);
+        simplex.push((x0.to_vec(), v0));
+        for i in 0..n {
+            let mut x = x0.to_vec();
+            x[i] += opts.initial_step;
+            let v = eval(&x, &mut evals);
+            simplex.push((x, v));
+        }
+
+        const ALPHA: f64 = 1.0; // reflection
+        const GAMMA: f64 = 2.0; // expansion
+        const RHO: f64 = 0.5; // contraction
+        const SIGMA: f64 = 0.5; // shrink
+
+        while evals < opts.max_evals {
+            simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+            let spread = simplex[n].1 - simplex[0].1;
+            if spread.abs() < opts.tolerance {
+                break;
+            }
+            // Centroid of all but the worst.
+            let mut centroid = vec![0.0f64; n];
+            for (x, _) in &simplex[..n] {
+                for (c, xi) in centroid.iter_mut().zip(x) {
+                    *c += xi / n as f64;
+                }
+            }
+            let worst = simplex[n].clone();
+            let reflect: Vec<f64> = centroid
+                .iter()
+                .zip(&worst.0)
+                .map(|(c, w)| c + ALPHA * (c - w))
+                .collect();
+            let fr = eval(&reflect, &mut evals);
+            if fr < simplex[0].1 {
+                // Try expanding.
+                let expand: Vec<f64> = centroid
+                    .iter()
+                    .zip(&reflect)
+                    .map(|(c, r)| c + GAMMA * (r - c))
+                    .collect();
+                let fe = eval(&expand, &mut evals);
+                simplex[n] = if fe < fr { (expand, fe) } else { (reflect, fr) };
+            } else if fr < simplex[n - 1].1 {
+                simplex[n] = (reflect, fr);
+            } else {
+                // Contract toward the centroid.
+                let contract: Vec<f64> = centroid
+                    .iter()
+                    .zip(&worst.0)
+                    .map(|(c, w)| c + RHO * (w - c))
+                    .collect();
+                let fc = eval(&contract, &mut evals);
+                if fc < worst.1 {
+                    simplex[n] = (contract, fc);
+                } else {
+                    // Shrink everything toward the best point.
+                    let best = simplex[0].0.clone();
+                    for entry in simplex.iter_mut().skip(1) {
+                        let x: Vec<f64> = best
+                            .iter()
+                            .zip(&entry.0)
+                            .map(|(b, xi)| b + SIGMA * (xi - b))
+                            .collect();
+                        let v = eval(&x, &mut evals);
+                        *entry = (x, v);
+                    }
+                }
+            }
+        }
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let (best, value) = simplex.swap_remove(0);
+        Ok(SearchOutcome { best, value, evals })
+    }
+}
+
+/// The reduced one-dimensional search: the smallest ADC resolution whose
+/// accuracy meets `min_accuracy` (quantization energy doubles per bit, so
+/// the minimum feasible resolution is automatically energy-optimal).
+///
+/// `accuracy_of(bits)` is typically a closure that instruments the network
+/// at that resolution and evaluates it on the validation shard.
+///
+/// # Errors
+///
+/// Returns [`SimError::BadSearchDomain`] for an empty or inverted range.
+pub fn select_quantization<F: FnMut(u32) -> f32>(
+    bits_range: std::ops::RangeInclusive<u32>,
+    min_accuracy: f32,
+    mut accuracy_of: F,
+) -> Result<Option<u32>> {
+    if bits_range.is_empty() {
+        return Err(SimError::BadSearchDomain {
+            reason: format!("empty bit range {bits_range:?}"),
+        });
+    }
+    for bits in bits_range {
+        if accuracy_of(bits) >= min_accuracy {
+            return Ok(Some(bits));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic_bowl() {
+        let nm = NelderMead::default();
+        let out = nm
+            .minimize(
+                |x| (x[0] - 3.0).powi(2) + (x[1] + 1.0).powi(2) + 5.0,
+                &[0.0, 0.0],
+            )
+            .unwrap();
+        assert!((out.best[0] - 3.0).abs() < 1e-3, "{:?}", out.best);
+        assert!((out.best[1] + 1.0).abs() < 1e-3, "{:?}", out.best);
+        assert!((out.value - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock_ish() {
+        let nm = NelderMead::new(NelderMeadOptions {
+            max_evals: 4000,
+            tolerance: 1e-12,
+            initial_step: 0.5,
+        });
+        let out = nm
+            .minimize(
+                |x| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2),
+                &[-1.2, 1.0],
+            )
+            .unwrap();
+        assert!((out.best[0] - 1.0).abs() < 0.05, "{:?}", out.best);
+        assert!((out.best[1] - 1.0).abs() < 0.1, "{:?}", out.best);
+    }
+
+    #[test]
+    fn respects_eval_budget() {
+        let nm = NelderMead::new(NelderMeadOptions {
+            max_evals: 25,
+            ..NelderMeadOptions::default()
+        });
+        let out = nm.minimize(|x| x[0] * x[0], &[10.0]).unwrap();
+        assert!(out.evals <= 30, "evals {}", out.evals);
+    }
+
+    #[test]
+    fn empty_domain_rejected() {
+        assert!(NelderMead::default().minimize(|_| 0.0, &[]).is_err());
+    }
+
+    #[test]
+    fn quantization_scan_picks_smallest_feasible() {
+        // Accuracy model: collapses below 4 bits, plateaus above.
+        let acc = |bits: u32| if bits >= 4 { 0.89 } else { 0.3 };
+        let pick = select_quantization(1..=10, 0.85, acc).unwrap();
+        assert_eq!(pick, Some(4));
+    }
+
+    #[test]
+    fn quantization_scan_reports_infeasible() {
+        let pick = select_quantization(1..=10, 0.99, |_| 0.5).unwrap();
+        assert_eq!(pick, None);
+    }
+}

@@ -1,0 +1,83 @@
+//! The Bluetooth Low Energy cloudlet link (§V-B).
+//!
+//! "Using a characterization of Bluetooth Low-Energy power and latency, we
+//! find that conventionally exporting a 227×227 frame will consume
+//! 129.42 mJ over 1.54 seconds." The model is linear in payload bits with
+//! constants derived from exactly that anchor.
+
+use redeye_analog::{Joules, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// Raw-frame payload the paper's anchor describes (227×227×3 at 10 bits).
+const ANCHOR_BITS: f64 = 227.0 * 227.0 * 3.0 * 10.0;
+
+/// A BLE transmission energy/latency model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BleLink {
+    /// Radio energy per payload bit.
+    energy_per_bit: Joules,
+    /// Air/protocol time per payload bit.
+    seconds_per_bit: Seconds,
+}
+
+impl BleLink {
+    /// The paper's characterization: 129.42 mJ and 1.54 s per raw frame.
+    pub fn paper_characterization() -> Self {
+        BleLink {
+            energy_per_bit: Joules::from_milli(129.42) / ANCHOR_BITS,
+            seconds_per_bit: Seconds::new(1.54) / ANCHOR_BITS,
+        }
+    }
+
+    /// Energy to transmit a payload.
+    pub fn energy(&self, bits: u64) -> Joules {
+        self.energy_per_bit * bits as f64
+    }
+
+    /// Time to transmit a payload.
+    pub fn time(&self, bits: u64) -> Seconds {
+        self.seconds_per_bit * bits as f64
+    }
+
+    /// Effective throughput in bits/second.
+    pub fn throughput_bps(&self) -> f64 {
+        1.0 / self.seconds_per_bit.value()
+    }
+}
+
+impl Default for BleLink {
+    fn default() -> Self {
+        BleLink::paper_characterization()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_frame_anchor_round_trips() {
+        let ble = BleLink::paper_characterization();
+        let bits = (227 * 227 * 3 * 10) as u64;
+        assert!((ble.energy(bits).millis() - 129.42).abs() < 1e-6);
+        assert!((ble.time(bits).value() - 1.54).abs() < 1e-9);
+    }
+
+    #[test]
+    fn depth4_payload_matches_paper() {
+        // §V-B: "RedEye Depth4 output only consumes 33.7 mJ per frame, over
+        // 0.40 seconds" — 14×14×512 values at 4 bits.
+        let ble = BleLink::paper_characterization();
+        let bits = (14 * 14 * 512 * 4) as u64;
+        let mj = ble.energy(bits).millis();
+        let s = ble.time(bits).value();
+        assert!((mj - 33.7).abs() < 0.5, "{mj} mJ");
+        assert!((s - 0.40).abs() < 0.01, "{s} s");
+    }
+
+    #[test]
+    fn throughput_is_about_1_mbps() {
+        let bps = BleLink::paper_characterization().throughput_bps();
+        assert!((0.9e6..1.1e6).contains(&bps), "{bps}");
+    }
+}

@@ -1,0 +1,161 @@
+//! Energy-optimal depth selection (§III-C / §V-C).
+//!
+//! "The developer is responsible for partitioning ConvNets between RedEye
+//! operation and digital host system operation. … Choosing an optimal depth
+//! configuration depends on the energy consumption of the digital host
+//! system. For an energy-expensive host system, deeper depth configurations
+//! will reduce expensive digital processing … However, for an
+//! energy-inexpensive host, RedEye can operate shallower networks."
+//!
+//! [`optimal_depth`] automates that decision for the three system contexts.
+
+use crate::{scenario, JetsonKind};
+use redeye_analog::Joules;
+use redeye_core::{Depth, RedEyeConfig};
+use serde::{Deserialize, Serialize};
+
+/// The downstream consumer of RedEye's features.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HostContext {
+    /// Remainder of the network runs on the Jetson TK1 GPU.
+    JetsonGpu,
+    /// Remainder runs on the Jetson TK1 CPU.
+    JetsonCpu,
+    /// Features are shipped to a cloudlet over BLE.
+    Cloudlet,
+    /// No host: minimize the sensor's own energy (Fig. 7a view).
+    SensorOnly,
+}
+
+/// One evaluated depth choice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DepthChoice {
+    /// The cut.
+    pub depth: Depth,
+    /// Total per-frame system energy in this context.
+    pub system_energy: Joules,
+}
+
+/// Evaluates all five depths in a host context and returns them sorted by
+/// system energy (cheapest first).
+pub fn rank_depths(context: HostContext, config: &RedEyeConfig) -> Vec<DepthChoice> {
+    let mut choices: Vec<DepthChoice> = Depth::ALL
+        .iter()
+        .map(|&depth| {
+            let system_energy = match context {
+                HostContext::JetsonGpu => {
+                    scenario::redeye_host(JetsonKind::Gpu, depth, config).energy
+                }
+                HostContext::JetsonCpu => {
+                    scenario::redeye_host(JetsonKind::Cpu, depth, config).energy
+                }
+                HostContext::Cloudlet => scenario::cloudlet_redeye(depth, config).energy,
+                HostContext::SensorOnly => redeye_core::estimate::estimate_depth(depth, config)
+                    .expect("GoogLeNet estimates")
+                    .energy
+                    .analog_total(),
+            };
+            DepthChoice {
+                depth,
+                system_energy,
+            }
+        })
+        .collect();
+    choices.sort_by(|a, b| {
+        a.system_energy
+            .value()
+            .partial_cmp(&b.system_energy.value())
+            .expect("energies are finite")
+    });
+    choices
+}
+
+/// The energy-optimal cut for a host context.
+///
+/// # Example
+///
+/// ```
+/// use redeye_core::{Depth, RedEyeConfig};
+/// use redeye_system::optimize::{optimal_depth, HostContext};
+///
+/// let config = RedEyeConfig::default();
+/// // §V-C: Depth5 is optimal against a Jetson; Depth1 for the bare sensor.
+/// assert_eq!(optimal_depth(HostContext::JetsonGpu, &config), Depth::D5);
+/// assert_eq!(optimal_depth(HostContext::SensorOnly, &config), Depth::D1);
+/// ```
+pub fn optimal_depth(context: HostContext, config: &RedEyeConfig) -> Depth {
+    rank_depths(context, config)[0].depth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jetson_hosts_prefer_depth5() {
+        // §V-C: "when paired with a Jetson TK1, the most efficient
+        // configuration is Depth5."
+        let config = RedEyeConfig::default();
+        assert_eq!(optimal_depth(HostContext::JetsonGpu, &config), Depth::D5);
+        assert_eq!(optimal_depth(HostContext::JetsonCpu, &config), Depth::D5);
+    }
+
+    #[test]
+    fn sensor_only_prefers_depth1() {
+        // §V-A: "we find Depth1 to consume the least RedEye energy per
+        // frame."
+        let config = RedEyeConfig::default();
+        assert_eq!(optimal_depth(HostContext::SensorOnly, &config), Depth::D1);
+    }
+
+    #[test]
+    fn cloudlet_prefers_a_small_payload_cut() {
+        // Transmission dominates: the best cloudlet cut is one of the
+        // deep, small-payload cuts (D3 has the smallest payload; the paper
+        // transmits D4).
+        let config = RedEyeConfig::default();
+        let best = optimal_depth(HostContext::Cloudlet, &config);
+        assert!(
+            matches!(best, Depth::D3 | Depth::D4 | Depth::D5),
+            "cloudlet best = {best}"
+        );
+    }
+
+    #[test]
+    fn ranking_is_sorted_and_complete() {
+        let config = RedEyeConfig::default();
+        for context in [
+            HostContext::JetsonGpu,
+            HostContext::JetsonCpu,
+            HostContext::Cloudlet,
+            HostContext::SensorOnly,
+        ] {
+            let ranked = rank_depths(context, &config);
+            assert_eq!(ranked.len(), 5);
+            for pair in ranked.windows(2) {
+                assert!(pair[0].system_energy <= pair[1].system_energy);
+            }
+        }
+    }
+
+    #[test]
+    fn high_fidelity_mode_flips_the_cloudlet_decision() {
+        // At 60 dB the analog pipeline is 100× more expensive, so against
+        // the (cheap) BLE link deep cuts stop paying off and the optimum
+        // moves shallower — §V-C's "depends on the energy consumption of
+        // the digital host" point, exercised in reverse.
+        let cheap = optimal_depth(HostContext::Cloudlet, &RedEyeConfig::default());
+        let config = RedEyeConfig {
+            snr: redeye_analog::SnrDb::new(60.0),
+            ..RedEyeConfig::default()
+        };
+        let fidelity = optimal_depth(HostContext::Cloudlet, &config);
+        assert!(
+            fidelity < cheap,
+            "60 dB should push shallower: {fidelity} vs {cheap} at 40 dB"
+        );
+        // The expensive Jetson hosts keep preferring Depth5 even at 60 dB —
+        // their remainder cost dominates the analog premium.
+        assert_eq!(optimal_depth(HostContext::JetsonCpu, &config), Depth::D5);
+    }
+}

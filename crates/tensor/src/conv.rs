@@ -1,0 +1,513 @@
+//! Convolution and pooling geometry plus the `im2col`/`col2im` lowering.
+//!
+//! Output spatial sizes follow the Caffe conventions the RedEye paper's
+//! framework used: convolutions round *down* and poolings round *up*
+//! ([`RoundMode`]), which is what makes GoogLeNet's 227×227 pipeline produce
+//! the 57×57 / 28×28 / 14×14 planes the paper reports.
+
+use crate::{Tensor, TensorError};
+use std::fmt;
+
+/// How a fractional output extent is rounded.
+///
+/// Caffe rounds convolution outputs down and pooling outputs up; both modes
+/// are needed to reproduce GoogLeNet's feature-map sizes exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RoundMode {
+    /// Round down (Caffe convolution).
+    Floor,
+    /// Round up (Caffe pooling).
+    Ceil,
+}
+
+impl RoundMode {
+    fn apply(self, numerator: usize, denominator: usize) -> usize {
+        match self {
+            RoundMode::Floor => numerator / denominator,
+            RoundMode::Ceil => numerator.div_ceil(denominator),
+        }
+    }
+}
+
+/// Geometry of a 2-D convolution over a `C×H×W` input.
+///
+/// # Example
+///
+/// ```
+/// use redeye_tensor::ConvGeom;
+///
+/// // GoogLeNet conv1: 7×7 stride 2 pad 3 over a 227×227 frame.
+/// let g = ConvGeom::new(3, 227, 227, 7, 7, 2, 3).unwrap();
+/// assert_eq!((g.out_h(), g.out_w()), (114, 114));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvGeom {
+    in_c: usize,
+    in_h: usize,
+    in_w: usize,
+    kernel_h: usize,
+    kernel_w: usize,
+    stride: usize,
+    pad: usize,
+    out_h: usize,
+    out_w: usize,
+}
+
+impl ConvGeom {
+    /// Builds a convolution geometry, validating all parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidGeometry`] when the stride is zero, a
+    /// kernel extent is zero, or the padded input is smaller than the kernel.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        in_c: usize,
+        in_h: usize,
+        in_w: usize,
+        kernel_h: usize,
+        kernel_w: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Result<Self, TensorError> {
+        Self::with_round(
+            in_c,
+            in_h,
+            in_w,
+            kernel_h,
+            kernel_w,
+            stride,
+            pad,
+            RoundMode::Floor,
+        )
+    }
+
+    /// Like [`ConvGeom::new`], with an explicit output rounding mode.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ConvGeom::new`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_round(
+        in_c: usize,
+        in_h: usize,
+        in_w: usize,
+        kernel_h: usize,
+        kernel_w: usize,
+        stride: usize,
+        pad: usize,
+        round: RoundMode,
+    ) -> Result<Self, TensorError> {
+        if stride == 0 {
+            return Err(TensorError::InvalidGeometry {
+                reason: "stride must be positive".into(),
+            });
+        }
+        if kernel_h == 0 || kernel_w == 0 || in_c == 0 {
+            return Err(TensorError::InvalidGeometry {
+                reason: format!(
+                    "kernel ({kernel_h}x{kernel_w}) and channels ({in_c}) must be positive"
+                ),
+            });
+        }
+        let padded_h = in_h + 2 * pad;
+        let padded_w = in_w + 2 * pad;
+        if padded_h < kernel_h || padded_w < kernel_w {
+            return Err(TensorError::InvalidGeometry {
+                reason: format!(
+                    "padded input {padded_h}x{padded_w} smaller than kernel {kernel_h}x{kernel_w}"
+                ),
+            });
+        }
+        let out_h = round.apply(padded_h - kernel_h, stride) + 1;
+        let out_w = round.apply(padded_w - kernel_w, stride) + 1;
+        Ok(ConvGeom {
+            in_c,
+            in_h,
+            in_w,
+            kernel_h,
+            kernel_w,
+            stride,
+            pad,
+            out_h,
+            out_w,
+        })
+    }
+
+    /// Input channel count.
+    pub fn in_c(&self) -> usize {
+        self.in_c
+    }
+    /// Input height.
+    pub fn in_h(&self) -> usize {
+        self.in_h
+    }
+    /// Input width.
+    pub fn in_w(&self) -> usize {
+        self.in_w
+    }
+    /// Kernel height.
+    pub fn kernel_h(&self) -> usize {
+        self.kernel_h
+    }
+    /// Kernel width.
+    pub fn kernel_w(&self) -> usize {
+        self.kernel_w
+    }
+    /// Stride (identical in both axes).
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+    /// Zero padding (identical on all sides).
+    pub fn pad(&self) -> usize {
+        self.pad
+    }
+    /// Output height.
+    pub fn out_h(&self) -> usize {
+        self.out_h
+    }
+    /// Output width.
+    pub fn out_w(&self) -> usize {
+        self.out_w
+    }
+
+    /// Elements in one receptive field: `in_c · kernel_h · kernel_w`.
+    pub fn patch_len(&self) -> usize {
+        self.in_c * self.kernel_h * self.kernel_w
+    }
+
+    /// Number of output spatial positions: `out_h · out_w`.
+    pub fn out_positions(&self) -> usize {
+        self.out_h * self.out_w
+    }
+
+    /// Multiply–accumulate operations for `out_c` output channels.
+    ///
+    /// This is the quantity the RedEye energy model charges per frame.
+    pub fn macs(&self, out_c: usize) -> u64 {
+        self.out_positions() as u64 * self.patch_len() as u64 * out_c as u64
+    }
+}
+
+impl fmt::Display for ConvGeom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{}x{} -> k{}x{} s{} p{} -> {}x{}",
+            self.in_c,
+            self.in_h,
+            self.in_w,
+            self.kernel_h,
+            self.kernel_w,
+            self.stride,
+            self.pad,
+            self.out_h,
+            self.out_w
+        )
+    }
+}
+
+/// Geometry of a 2-D pooling window (Caffe ceil-mode by default).
+///
+/// # Example
+///
+/// ```
+/// use redeye_tensor::PoolGeom;
+///
+/// // GoogLeNet pool1: 3×3 stride 2 over 114×114 → 57×57 (ceil mode).
+/// let g = PoolGeom::new(64, 114, 114, 3, 2, 0).unwrap();
+/// assert_eq!((g.out_h(), g.out_w()), (57, 57));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PoolGeom {
+    inner: ConvGeom,
+}
+
+impl PoolGeom {
+    /// Builds a pooling geometry with Caffe's ceil rounding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidGeometry`] under the same conditions as
+    /// [`ConvGeom::new`].
+    pub fn new(
+        channels: usize,
+        in_h: usize,
+        in_w: usize,
+        window: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Result<Self, TensorError> {
+        let inner = ConvGeom::with_round(
+            channels,
+            in_h,
+            in_w,
+            window,
+            window,
+            stride,
+            pad,
+            RoundMode::Ceil,
+        )?;
+        Ok(PoolGeom { inner })
+    }
+
+    /// Channel count (pooling preserves it).
+    pub fn channels(&self) -> usize {
+        self.inner.in_c()
+    }
+    /// Input height.
+    pub fn in_h(&self) -> usize {
+        self.inner.in_h()
+    }
+    /// Input width.
+    pub fn in_w(&self) -> usize {
+        self.inner.in_w()
+    }
+    /// Square window extent.
+    pub fn window(&self) -> usize {
+        self.inner.kernel_h()
+    }
+    /// Stride.
+    pub fn stride(&self) -> usize {
+        self.inner.stride()
+    }
+    /// Padding.
+    pub fn pad(&self) -> usize {
+        self.inner.pad()
+    }
+    /// Output height.
+    pub fn out_h(&self) -> usize {
+        self.inner.out_h()
+    }
+    /// Output width.
+    pub fn out_w(&self) -> usize {
+        self.inner.out_w()
+    }
+
+    /// Pairwise comparisons the max-pool comparator performs per frame.
+    pub fn comparisons(&self) -> u64 {
+        let per_window = (self.window() * self.window()).saturating_sub(1) as u64;
+        self.channels() as u64 * self.out_h() as u64 * self.out_w() as u64 * per_window
+    }
+
+    /// Output element count.
+    pub fn out_len(&self) -> usize {
+        self.channels() * self.out_h() * self.out_w()
+    }
+}
+
+/// Lowers a `C×H×W` input into the `(patch_len × out_positions)` matrix whose
+/// columns are receptive-field patches, enabling convolution as matmul.
+///
+/// Out-of-bounds (padding) taps contribute zeros.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `input` is not `C×H×W` matching
+/// `geom`.
+pub fn im2col(input: &Tensor, geom: &ConvGeom) -> Result<Tensor, TensorError> {
+    let expected = [geom.in_c(), geom.in_h(), geom.in_w()];
+    if input.dims() != expected {
+        return Err(TensorError::ShapeMismatch {
+            left: input.dims().to_vec(),
+            right: expected.to_vec(),
+        });
+    }
+    let src = input.as_slice();
+    let (in_h, in_w) = (geom.in_h() as isize, geom.in_w() as isize);
+    let cols = geom.out_positions();
+    let rows = geom.patch_len();
+    let mut out = vec![0.0f32; rows * cols];
+    let mut row = 0usize;
+    for c in 0..geom.in_c() {
+        let plane = &src[c * geom.in_h() * geom.in_w()..];
+        for ky in 0..geom.kernel_h() {
+            for kx in 0..geom.kernel_w() {
+                let out_row = &mut out[row * cols..(row + 1) * cols];
+                let mut col = 0usize;
+                for oy in 0..geom.out_h() {
+                    let y = (oy * geom.stride() + ky) as isize - geom.pad() as isize;
+                    for ox in 0..geom.out_w() {
+                        let x = (ox * geom.stride() + kx) as isize - geom.pad() as isize;
+                        if y >= 0 && y < in_h && x >= 0 && x < in_w {
+                            out_row[col] = plane[y as usize * geom.in_w() + x as usize];
+                        }
+                        col += 1;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[rows, cols])
+}
+
+/// Inverse of [`im2col`]: scatters a patch matrix back onto a `C×H×W` plane,
+/// *accumulating* overlapping contributions. Used by the convolution backward
+/// pass to form input gradients.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `cols` is not the
+/// `(patch_len × out_positions)` matrix implied by `geom`.
+pub fn col2im(cols: &Tensor, geom: &ConvGeom) -> Result<Tensor, TensorError> {
+    let expected = [geom.patch_len(), geom.out_positions()];
+    if cols.dims() != expected {
+        return Err(TensorError::ShapeMismatch {
+            left: cols.dims().to_vec(),
+            right: expected.to_vec(),
+        });
+    }
+    let src = cols.as_slice();
+    let (in_h, in_w) = (geom.in_h() as isize, geom.in_w() as isize);
+    let n_cols = geom.out_positions();
+    let mut out = vec![0.0f32; geom.in_c() * geom.in_h() * geom.in_w()];
+    let mut row = 0usize;
+    for c in 0..geom.in_c() {
+        let plane_base = c * geom.in_h() * geom.in_w();
+        for ky in 0..geom.kernel_h() {
+            for kx in 0..geom.kernel_w() {
+                let src_row = &src[row * n_cols..(row + 1) * n_cols];
+                let mut col = 0usize;
+                for oy in 0..geom.out_h() {
+                    let y = (oy * geom.stride() + ky) as isize - geom.pad() as isize;
+                    for ox in 0..geom.out_w() {
+                        let x = (ox * geom.stride() + kx) as isize - geom.pad() as isize;
+                        if y >= 0 && y < in_h && x >= 0 && x < in_w {
+                            out[plane_base + y as usize * geom.in_w() + x as usize] += src_row[col];
+                        }
+                        col += 1;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[geom.in_c(), geom.in_h(), geom.in_w()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matmul;
+
+    #[test]
+    fn googlenet_front_sizes() {
+        // conv1 7x7/2 pad 3 over 227 → 114 (floor mode).
+        let c1 = ConvGeom::new(3, 227, 227, 7, 7, 2, 3).unwrap();
+        assert_eq!((c1.out_h(), c1.out_w()), (114, 114));
+        // pool1 3x3/2 over 114 → 57 (ceil mode).
+        let p1 = PoolGeom::new(64, 114, 114, 3, 2, 0).unwrap();
+        assert_eq!((p1.out_h(), p1.out_w()), (57, 57));
+        // pool2 3x3/2 over 57 → 28 (ceil mode; floor would give 28 too... check 57: (57-3)=54, 54/2=27 → 28).
+        let p2 = PoolGeom::new(192, 57, 57, 3, 2, 0).unwrap();
+        assert_eq!((p2.out_h(), p2.out_w()), (28, 28));
+        // pool3 3x3/2 over 28 → 14 (ceil: (28-3)/2=12.5→13 → 14).
+        let p3 = PoolGeom::new(480, 28, 28, 3, 2, 0).unwrap();
+        assert_eq!((p3.out_h(), p3.out_w()), (14, 14));
+    }
+
+    #[test]
+    fn geometry_validation() {
+        assert!(ConvGeom::new(3, 8, 8, 3, 3, 0, 1).is_err());
+        assert!(ConvGeom::new(3, 2, 2, 5, 5, 1, 0).is_err());
+        assert!(ConvGeom::new(0, 8, 8, 3, 3, 1, 0).is_err());
+        assert!(ConvGeom::new(3, 2, 2, 5, 5, 1, 2).is_ok());
+    }
+
+    #[test]
+    fn macs_counting() {
+        let g = ConvGeom::new(3, 227, 227, 7, 7, 2, 3).unwrap();
+        // 114*114*64*7*7*3 = 122,280,192 MACs for conv1.
+        assert_eq!(g.macs(64), 114 * 114 * 64 * 7 * 7 * 3);
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // A 1x1 kernel with stride 1 and no pad is a plain reshape.
+        let input = Tensor::from_vec((0..12).map(|v| v as f32).collect(), &[3, 2, 2]).unwrap();
+        let g = ConvGeom::new(3, 2, 2, 1, 1, 1, 0).unwrap();
+        let cols = im2col(&input, &g).unwrap();
+        assert_eq!(cols.dims(), &[3, 4]);
+        assert_eq!(cols.as_slice(), input.as_slice());
+    }
+
+    #[test]
+    fn im2col_padding_zeros() {
+        let input = Tensor::full(&[1, 1, 1], 5.0);
+        let g = ConvGeom::new(1, 1, 1, 3, 3, 1, 1).unwrap();
+        let cols = im2col(&input, &g).unwrap();
+        assert_eq!(cols.dims(), &[9, 1]);
+        // Only the center tap sees the pixel; the 8 padded taps are zero.
+        assert_eq!(cols.sum(), 5.0);
+        assert_eq!(cols.at(&[4, 0]).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn conv_as_matmul_matches_direct() {
+        // Direct 2-D convolution vs im2col+matmul on a small case.
+        let mut rng = crate::Rng::seed_from(11);
+        let input = Tensor::uniform(&[2, 5, 5], -1.0, 1.0, &mut rng);
+        let g = ConvGeom::new(2, 5, 5, 3, 3, 1, 1).unwrap();
+        let weights = Tensor::uniform(&[4, g.patch_len()], -0.5, 0.5, &mut rng);
+        let cols = im2col(&input, &g).unwrap();
+        let out = matmul(&weights, &cols).unwrap();
+        assert_eq!(out.dims(), &[4, 25]);
+
+        // Direct computation for output channel 1, position (2,3).
+        let (oc, oy, ox) = (1usize, 2usize, 3usize);
+        let mut acc = 0.0f32;
+        let mut widx = 0usize;
+        for c in 0..2 {
+            for ky in 0..3 {
+                for kx in 0..3 {
+                    let y = oy as isize + ky as isize - 1;
+                    let x = ox as isize + kx as isize - 1;
+                    if (0..5).contains(&y) && (0..5).contains(&x) {
+                        acc += weights.at(&[oc, widx]).unwrap()
+                            * input.at(&[c, y as usize, x as usize]).unwrap();
+                    }
+                    widx += 1;
+                }
+            }
+        }
+        let got = out.at(&[oc, oy * 5 + ox]).unwrap();
+        assert!((got - acc).abs() < 1e-4, "direct {acc} vs matmul {got}");
+    }
+
+    #[test]
+    fn col2im_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> — the defining adjoint property
+        // that makes the conv backward pass correct.
+        let mut rng = crate::Rng::seed_from(13);
+        let x = Tensor::uniform(&[2, 4, 4], -1.0, 1.0, &mut rng);
+        let g = ConvGeom::new(2, 4, 4, 3, 3, 2, 1).unwrap();
+        let y = Tensor::uniform(&[g.patch_len(), g.out_positions()], -1.0, 1.0, &mut rng);
+        let lhs: f32 = im2col(&x, &g)
+            .unwrap()
+            .iter()
+            .zip(y.iter())
+            .map(|(a, b)| a * b)
+            .sum();
+        let rhs: f32 = x
+            .iter()
+            .zip(col2im(&y, &g).unwrap().iter())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn pool_comparisons() {
+        let p = PoolGeom::new(64, 114, 114, 3, 2, 0).unwrap();
+        assert_eq!(p.comparisons(), 64 * 57 * 57 * 8);
+        assert_eq!(p.out_len(), 64 * 57 * 57);
+    }
+
+    #[test]
+    fn round_mode_behaviour() {
+        assert_eq!(RoundMode::Floor.apply(5, 2), 2);
+        assert_eq!(RoundMode::Ceil.apply(5, 2), 3);
+        assert_eq!(RoundMode::Ceil.apply(4, 2), 2);
+    }
+}

@@ -1,0 +1,121 @@
+//! Error type for tensor operations.
+
+use std::fmt;
+
+/// Error returned by fallible tensor operations.
+///
+/// Every variant carries enough context to diagnose the failing call without
+/// a debugger: the offending shapes or indices are embedded in the error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements implied by a shape does not match the data
+    /// length supplied.
+    LengthMismatch {
+        /// Elements implied by the requested shape.
+        expected: usize,
+        /// Elements actually provided.
+        actual: usize,
+    },
+    /// Two tensors that must have identical shapes do not.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        left: Vec<usize>,
+        /// Shape of the right-hand operand.
+        right: Vec<usize>,
+    },
+    /// A tensor did not have the rank an operation requires.
+    RankMismatch {
+        /// Rank required by the operation.
+        expected: usize,
+        /// Rank of the tensor supplied.
+        actual: usize,
+    },
+    /// Inner dimensions of a matrix product disagree.
+    InnerDimMismatch {
+        /// Columns of the left matrix.
+        left_cols: usize,
+        /// Rows of the right matrix.
+        right_rows: usize,
+    },
+    /// An index was outside the tensor bounds.
+    IndexOutOfBounds {
+        /// The multi-dimensional index requested.
+        index: Vec<usize>,
+        /// The tensor shape.
+        shape: Vec<usize>,
+    },
+    /// A geometry parameter (stride, kernel, pad) was invalid for the input.
+    InvalidGeometry {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// An operation that requires a non-empty tensor received an empty one.
+    Empty,
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "data length {actual} does not match shape volume {expected}"
+            ),
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left:?} vs {right:?}")
+            }
+            TensorError::RankMismatch { expected, actual } => {
+                write!(f, "rank mismatch: expected rank {expected}, got {actual}")
+            }
+            TensorError::InnerDimMismatch {
+                left_cols,
+                right_rows,
+            } => write!(
+                f,
+                "matrix inner dimensions disagree: {left_cols} vs {right_rows}"
+            ),
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            TensorError::InvalidGeometry { reason } => {
+                write!(f, "invalid geometry: {reason}")
+            }
+            TensorError::Empty => write!(f, "operation requires a non-empty tensor"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = TensorError::ShapeMismatch {
+            left: vec![2, 3],
+            right: vec![3, 2],
+        };
+        let text = err.to_string();
+        assert!(text.contains("[2, 3]"));
+        assert!(text.contains("[3, 2]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+
+    #[test]
+    fn errors_compare_equal() {
+        assert_eq!(TensorError::Empty, TensorError::Empty);
+        assert_ne!(
+            TensorError::Empty,
+            TensorError::LengthMismatch {
+                expected: 1,
+                actual: 2
+            }
+        );
+    }
+}

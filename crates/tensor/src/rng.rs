@@ -1,0 +1,223 @@
+//! Seeded random number generation.
+//!
+//! All stochastic behaviour in the RedEye reproduction — synthetic datasets,
+//! weight initialization, thermal noise, quantizer dithering — flows through
+//! this one wrapper so every experiment is reproducible from a single `u64`
+//! seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng};
+
+/// A seedable random number generator with the distributions RedEye needs.
+///
+/// Wraps [`rand::rngs::StdRng`] and adds a Box–Muller standard-normal and a
+/// Knuth Poisson sampler so the workspace needs no further RNG dependencies.
+///
+/// # Example
+///
+/// ```
+/// use redeye_tensor::Rng;
+///
+/// let mut rng = Rng::seed_from(1);
+/// let u = rng.uniform(0.0, 1.0);
+/// assert!((0.0..1.0).contains(&u));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rng {
+    inner: StdRng,
+    /// Cached second output of the Box–Muller transform.
+    spare_normal: Option<f32>,
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        Rng {
+            inner: StdRng::seed_from_u64(seed),
+            spare_normal: None,
+        }
+    }
+
+    /// Splits off an independent generator, advancing this one.
+    ///
+    /// Useful for handing reproducible sub-streams to parallel workers.
+    pub fn split(&mut self) -> Rng {
+        Rng::seed_from(self.inner.gen::<u64>())
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is non-finite.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        assert!(lo <= hi, "uniform bounds inverted: [{lo}, {hi})");
+        if lo == hi {
+            return lo;
+        }
+        lo + (hi - lo) * self.inner.gen::<f32>()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index range must be non-empty");
+        self.inner.gen_range(0..n)
+    }
+
+    /// A standard-normal sample via the Box–Muller transform.
+    pub fn standard_normal(&mut self) -> f32 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // Box–Muller: two uniforms → two independent normals.
+        let u1: f32 = self.inner.gen::<f32>().max(f32::MIN_POSITIVE);
+        let u2: f32 = self.inner.gen::<f32>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// A normal sample with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f32, std: f32) -> f32 {
+        mean + std * self.standard_normal()
+    }
+
+    /// A Poisson sample with rate `lambda`.
+    ///
+    /// Uses Knuth's product method for small rates and a normal approximation
+    /// for `lambda > 64`, which is accurate to well under the shot-noise
+    /// magnitudes the sensor model cares about.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is negative or non-finite.
+    pub fn poisson(&mut self, lambda: f64) -> u64 {
+        assert!(
+            lambda.is_finite() && lambda >= 0.0,
+            "poisson rate must be finite and non-negative, got {lambda}"
+        );
+        if lambda == 0.0 {
+            return 0;
+        }
+        if lambda > 64.0 {
+            let z = f64::from(self.standard_normal());
+            let sample = lambda + lambda.sqrt() * z;
+            return sample.max(0.0).round() as u64;
+        }
+        let limit = (-lambda).exp();
+        let mut product = 1.0f64;
+        let mut count = 0u64;
+        loop {
+            product *= f64::from(self.inner.gen::<f32>());
+            if product <= limit {
+                return count;
+            }
+            count += 1;
+        }
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn chance(&mut self, p: f32) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.inner.gen::<f32>() < p
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::seed_from(99);
+        let mut b = Rng::seed_from(99);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+        }
+    }
+
+    #[test]
+    fn different_seed_different_stream() {
+        let mut a = Rng::seed_from(1);
+        let mut b = Rng::seed_from(2);
+        let same = (0..32).filter(|_| a.uniform(0.0, 1.0) == b.uniform(0.0, 1.0));
+        assert!(same.count() < 4);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = Rng::seed_from(3);
+        let n = 50_000;
+        let samples: Vec<f32> = (0..n).map(|_| rng.standard_normal()).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn poisson_mean_tracks_lambda() {
+        let mut rng = Rng::seed_from(4);
+        for &lambda in &[0.5f64, 4.0, 30.0, 500.0] {
+            let n = 20_000;
+            let mean: f64 = (0..n).map(|_| rng.poisson(lambda) as f64).sum::<f64>() / n as f64;
+            let tolerance = 4.0 * (lambda / n as f64).sqrt() + 0.02;
+            assert!(
+                (mean - lambda).abs() < tolerance.max(0.05),
+                "lambda {lambda}: mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_zero_rate_is_zero() {
+        let mut rng = Rng::seed_from(5);
+        assert_eq!(rng.poisson(0.0), 0);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Rng::seed_from(6);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 100-element shuffle should move something");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = Rng::seed_from(7);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    fn split_streams_are_independent() {
+        let mut parent = Rng::seed_from(8);
+        let mut child = parent.split();
+        // The child stream should not mirror the parent stream.
+        let matches = (0..32)
+            .filter(|_| parent.uniform(0.0, 1.0) == child.uniform(0.0, 1.0))
+            .count();
+        assert!(matches < 4);
+    }
+}

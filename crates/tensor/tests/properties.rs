@@ -1,0 +1,101 @@
+//! Property-based tests for the tensor substrate.
+
+use proptest::prelude::*;
+use redeye_tensor::{col2im, im2col, matmul, ConvGeom, Rng, Tensor};
+
+fn small_tensor(max_len: usize) -> impl Strategy<Value = Tensor> {
+    (1usize..=max_len).prop_flat_map(|len| {
+        prop::collection::vec(-100.0f32..100.0, len)
+            .prop_map(move |data| Tensor::from_vec(data, &[len]).unwrap())
+    })
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(len in 1usize..64, seed in 0u64..1000) {
+        let mut rng = Rng::seed_from(seed);
+        let a = Tensor::uniform(&[len], -10.0, 10.0, &mut rng);
+        let b = Tensor::uniform(&[len], -10.0, 10.0, &mut rng);
+        prop_assert_eq!(a.add(&b).unwrap(), b.add(&a).unwrap());
+    }
+
+    #[test]
+    fn scale_by_one_is_identity(t in small_tensor(64)) {
+        prop_assert_eq!(t.scale(1.0), t);
+    }
+
+    #[test]
+    fn sub_self_is_zero(t in small_tensor(64)) {
+        let z = t.sub(&t).unwrap();
+        prop_assert!(z.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn relu_is_idempotent(t in small_tensor(64)) {
+        let once = t.relu();
+        prop_assert_eq!(once.relu(), once);
+    }
+
+    #[test]
+    fn clamp_bounds_hold(t in small_tensor(64), lo in -5.0f32..0.0, span in 0.0f32..10.0) {
+        let hi = lo + span;
+        let c = t.clamp(lo, hi);
+        prop_assert!(c.iter().all(|&v| v >= lo && v <= hi));
+    }
+
+    #[test]
+    fn top1_matches_argmax(t in small_tensor(64)) {
+        prop_assert_eq!(t.top_k(1)[0], t.argmax().unwrap());
+    }
+
+    #[test]
+    fn reshape_preserves_sum(len_a in 1usize..8, len_b in 1usize..8, seed in 0u64..1000) {
+        let mut rng = Rng::seed_from(seed);
+        let t = Tensor::uniform(&[len_a, len_b], -1.0, 1.0, &mut rng);
+        let r = t.reshape(&[len_b, len_a]).unwrap();
+        prop_assert!((t.sum() - r.sum()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(
+        m in 1usize..5, k in 1usize..5, n in 1usize..5, seed in 0u64..1000,
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let a = Tensor::uniform(&[m, k], -2.0, 2.0, &mut rng);
+        let b = Tensor::uniform(&[k, n], -2.0, 2.0, &mut rng);
+        let c = Tensor::uniform(&[k, n], -2.0, 2.0, &mut rng);
+        let lhs = matmul(&a, &b.add(&c).unwrap()).unwrap();
+        let rhs = matmul(&a, &b).unwrap().add(&matmul(&a, &c).unwrap()).unwrap();
+        for (x, y) in lhs.iter().zip(rhs.iter()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(
+        c in 1usize..3, h in 3usize..7, w in 3usize..7,
+        k in 1usize..4, stride in 1usize..3, pad in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(h + 2 * pad >= k && w + 2 * pad >= k);
+        let geom = ConvGeom::new(c, h, w, k, k, stride, pad).unwrap();
+        let mut rng = Rng::seed_from(seed);
+        let x = Tensor::uniform(&[c, h, w], -1.0, 1.0, &mut rng);
+        let y = Tensor::uniform(&[geom.patch_len(), geom.out_positions()], -1.0, 1.0, &mut rng);
+        let lhs: f32 = im2col(&x, &geom).unwrap().iter().zip(y.iter()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.iter().zip(col2im(&y, &geom).unwrap().iter()).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn im2col_preserves_energy_of_unit_kernel(
+        c in 1usize..3, h in 2usize..6, w in 2usize..6, seed in 0u64..1000,
+    ) {
+        // With a 1x1 stride-1 kernel, im2col is a bijection on elements.
+        let geom = ConvGeom::new(c, h, w, 1, 1, 1, 0).unwrap();
+        let mut rng = Rng::seed_from(seed);
+        let x = Tensor::uniform(&[c, h, w], -1.0, 1.0, &mut rng);
+        let cols = im2col(&x, &geom).unwrap();
+        prop_assert!((cols.power().unwrap() - x.power().unwrap()).abs() < 1e-5);
+    }
+}
