@@ -6,7 +6,7 @@ use redeye_analog::{Comparator, DampingConfig, Mac, MacConfig, SarAdc, SnrDb, Tu
 use redeye_core::{compile, estimate, CompileOptions, Depth, Executor, RedEyeConfig, WeightBank};
 use redeye_nn::{build_network, summarize, zoo, WeightInit};
 use redeye_system::scenario;
-use redeye_tensor::{Rng, Tensor};
+use redeye_tensor::{gemm, matmul_naive, Rng, Tensor, Workspace};
 
 /// Fig. 7 / Table I path: the analytic GoogLeNet estimator at all depths.
 fn bench_estimator(c: &mut Criterion) {
@@ -88,6 +88,23 @@ fn bench_ablation(c: &mut Criterion) {
     });
 }
 
+/// The packed cache-blocked GEMM engine against the retained naive
+/// reference at the sizes the acceptance benchmark uses.
+fn bench_gemm(c: &mut Criterion) {
+    for size in [256usize, 512] {
+        let mut rng = Rng::seed_from(size as u64);
+        let a = Tensor::uniform(&[size, size], -1.0, 1.0, &mut rng);
+        let b = Tensor::uniform(&[size, size], -1.0, 1.0, &mut rng);
+        let mut ws = Workspace::new();
+        c.bench_function(&format!("gemm/packed_vs_naive/naive_{size}"), |bch| {
+            bch.iter(|| matmul_naive(&a, &b).unwrap())
+        });
+        c.bench_function(&format!("gemm/packed_vs_naive/packed_{size}"), |bch| {
+            bch.iter(|| gemm(&mut ws, false, false, &a, &b, 1).unwrap())
+        });
+    }
+}
+
 /// Depth sweep of the analytic path used by the partition explorer.
 fn bench_depths(c: &mut Criterion) {
     let config = RedEyeConfig::default();
@@ -114,6 +131,7 @@ criterion_group!(
     bench_executor,
     bench_circuits,
     bench_ablation,
+    bench_gemm,
     bench_depths
 );
 criterion_main!(benches);

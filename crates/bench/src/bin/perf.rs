@@ -1,0 +1,163 @@
+//! Performance measurement of the simulation hot path.
+//!
+//! Times the packed GEMM engine against the retained naive reference at the
+//! paper-relevant square sizes, one MicroNet forward epoch, and the
+//! frame-parallel accuracy sweep at 1 vs 4 worker threads. Results are
+//! written to `BENCH_gemm.json` in the invocation directory as rows of
+//! `{name, wall_ms, threads}`.
+//!
+//! Usage: `cargo run --release -p redeye-bench --bin perf`
+
+use redeye_bench::workload;
+use redeye_nn::{build_network, zoo, WeightInit};
+use redeye_sim::{extract_params, instrument, AccuracyHarness, InstrumentOptions};
+use redeye_tensor::{gemm, matmul_naive, Rng, Tensor, Workspace};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One benchmark observation.
+#[derive(Serialize)]
+struct Row {
+    name: String,
+    wall_ms: f64,
+    threads: usize,
+}
+
+/// Wall-clock milliseconds of the best of `reps` runs (best-of filters
+/// scheduler noise without needing a statistics stack).
+fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn bench_gemm(rows: &mut Vec<Row>, size: usize, threads: usize) {
+    let mut rng = Rng::seed_from(size as u64);
+    let a = Tensor::uniform(&[size, size], -1.0, 1.0, &mut rng);
+    let b = Tensor::uniform(&[size, size], -1.0, 1.0, &mut rng);
+    let mut ws = Workspace::new();
+    // Warm the workspace to its high-water mark before timing.
+    gemm(&mut ws, false, false, &a, &b, threads).expect("gemm");
+
+    // Interleave the three variants within each rep so host-load drift hits
+    // them equally and the reported ratios stay meaningful.
+    let reps = if size >= 512 { 5 } else { 7 };
+    let mut naive_ms = f64::INFINITY;
+    let mut packed_1_ms = f64::INFINITY;
+    let mut packed_n_ms = f64::INFINITY;
+    for _ in 0..reps {
+        naive_ms = naive_ms.min(best_of(1, || {
+            matmul_naive(&a, &b).expect("naive matmul");
+        }));
+        packed_1_ms = packed_1_ms.min(best_of(1, || {
+            gemm(&mut ws, false, false, &a, &b, 1).expect("gemm");
+        }));
+        packed_n_ms = packed_n_ms.min(best_of(1, || {
+            gemm(&mut ws, false, false, &a, &b, threads).expect("gemm");
+        }));
+    }
+
+    println!(
+        "gemm {size}^3: naive {naive_ms:.1} ms | packed(1t) {packed_1_ms:.1} ms ({:.2}x) | packed({threads}t) {packed_n_ms:.1} ms ({:.2}x)",
+        naive_ms / packed_1_ms,
+        naive_ms / packed_n_ms,
+    );
+    rows.push(Row {
+        name: format!("gemm_{size}_naive"),
+        wall_ms: naive_ms,
+        threads: 1,
+    });
+    rows.push(Row {
+        name: format!("gemm_{size}_packed"),
+        wall_ms: packed_1_ms,
+        threads: 1,
+    });
+    rows.push(Row {
+        name: format!("gemm_{size}_packed"),
+        wall_ms: packed_n_ms,
+        threads,
+    });
+}
+
+fn bench_micronet_epoch(rows: &mut Vec<Row>) {
+    let spec = zoo::micronet(8, workload::CLASSES);
+    let mut rng = Rng::seed_from(3);
+    let mut net = build_network(&spec, WeightInit::HeNormal, &mut rng).expect("micronet builds");
+    net.set_training(false);
+    let inputs: Vec<Tensor> = (0..64)
+        .map(|_| Tensor::uniform(&[3, 32, 32], 0.0, 1.0, &mut rng))
+        .collect();
+    // One warm pass grows every per-layer workspace to steady state.
+    for input in &inputs {
+        net.forward(input).expect("forward");
+    }
+    let ms = best_of(3, || {
+        for input in &inputs {
+            net.forward(input).expect("forward");
+        }
+    });
+    println!("micronet forward epoch (64 frames): {ms:.1} ms");
+    rows.push(Row {
+        name: "micronet_forward_epoch".into(),
+        wall_ms: ms,
+        threads: 1,
+    });
+}
+
+fn bench_accuracy_sweep(rows: &mut Vec<Row>) {
+    // Accuracy numbers are irrelevant here, so skip training: instrument a
+    // freshly initialized micronet — the per-frame work is identical.
+    let spec = zoo::micronet(8, workload::CLASSES);
+    let mut rng = Rng::seed_from(9);
+    let mut net = build_network(&spec, WeightInit::HeNormal, &mut rng).expect("micronet builds");
+    let params = extract_params(&mut net);
+    let examples = workload::validation_set(96, 11);
+
+    let sweep_ms = |threads: usize| {
+        let harness = AccuracyHarness::new(examples.clone(), threads);
+        let start = Instant::now();
+        harness
+            .evaluate(|worker| {
+                let opts = InstrumentOptions {
+                    seed: 31 + worker as u64,
+                    ..InstrumentOptions::paper_default("pool3")
+                };
+                instrument(&spec, &params, &opts)
+            })
+            .expect("accuracy evaluation");
+        start.elapsed().as_secs_f64() * 1e3
+    };
+
+    let ms_1 = sweep_ms(1);
+    let ms_4 = sweep_ms(4);
+    println!(
+        "accuracy sweep (96 frames): 1 thread {ms_1:.1} ms | 4 threads {ms_4:.1} ms ({:.2}x)",
+        ms_1 / ms_4
+    );
+    rows.push(Row {
+        name: "accuracy_sweep".into(),
+        wall_ms: ms_1,
+        threads: 1,
+    });
+    rows.push(Row {
+        name: "accuracy_sweep".into(),
+        wall_ms: ms_4,
+        threads: 4,
+    });
+}
+
+fn main() {
+    let mut rows: Vec<Row> = Vec::new();
+    bench_gemm(&mut rows, 256, 4);
+    bench_gemm(&mut rows, 512, 4);
+    bench_micronet_epoch(&mut rows);
+    bench_accuracy_sweep(&mut rows);
+
+    let json = serde_json::to_string_pretty(&rows).expect("serialize rows");
+    std::fs::write("BENCH_gemm.json", json).expect("write BENCH_gemm.json");
+    println!("wrote BENCH_gemm.json ({} rows)", rows.len());
+}

@@ -163,15 +163,15 @@ pub fn fig8() {
 }
 
 /// Shared accuracy sweep: returns `(top1, top5)` of the trained stand-in at
-/// one (SNR, bits) point over `n` validation images.
+/// one (SNR, bits) point. The harness (validation set + crossbeam worker
+/// pool) is built once per figure and reused across sweep points; each
+/// point's frames are sharded across the harness's worker threads.
 fn accuracy_at(
+    harness: &AccuracyHarness,
     model: &workload::TrainedModel,
     snr_db: f64,
     bits: u32,
-    n: usize,
-    threads: usize,
 ) -> (f32, f32) {
-    let harness = AccuracyHarness::new(workload::validation_set(n, 11), threads);
     let report = harness
         .evaluate(|worker| {
             let opts = InstrumentOptions {
@@ -196,11 +196,12 @@ pub fn fig9(model: &workload::TrainedModel, n: usize, threads: usize) {
         "stand-in model: micronet trained in-repo (clean top-1 {:.2}); energy: GoogLeNet Depth5",
         model.clean_top1
     );
+    let harness = AccuracyHarness::new(workload::validation_set(n, 11), threads);
     let mut rows = Vec::new();
     for snr in [
         0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 40.0, 50.0, 60.0, 70.0,
     ] {
-        let (top1, top5) = accuracy_at(model, snr, 4, n, threads);
+        let (top1, top5) = accuracy_at(&harness, model, snr, 4);
         let config = RedEyeConfig {
             snr: SnrDb::new(snr),
             ..RedEyeConfig::default()
@@ -223,9 +224,10 @@ pub fn fig9(model: &workload::TrainedModel, n: usize, threads: usize) {
 /// resolution at 40 dB Gaussian SNR.
 pub fn fig10(model: &workload::TrainedModel, n: usize, threads: usize) {
     section("Fig. 10 — Accuracy & quantization energy vs ADC resolution (40 dB)");
+    let harness = AccuracyHarness::new(workload::validation_set(n, 11), threads);
     let mut rows = Vec::new();
     for bits in 1..=10u32 {
-        let (top1, top5) = accuracy_at(model, 40.0, bits, n, threads);
+        let (top1, top5) = accuracy_at(&harness, model, 40.0, bits);
         let config = RedEyeConfig {
             adc_bits: bits,
             ..RedEyeConfig::default()

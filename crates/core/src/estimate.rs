@@ -134,7 +134,6 @@ impl NoisePlan {
     }
 }
 
-
 /// Counts the noisy analog stages an output value passes through in one
 /// layer (inception: the deepest branch, since channels see only their own
 /// branch).
@@ -168,11 +167,7 @@ fn noisy_stages(layer: &redeye_nn::LayerSpec) -> usize {
 /// # Errors
 ///
 /// Returns an error if `cut` does not name a top-level layer of `spec`.
-pub fn predicted_output_snr(
-    spec: &NetworkSpec,
-    cut: &str,
-    plan: &NoisePlan,
-) -> Result<SnrDb> {
+pub fn predicted_output_snr(spec: &NetworkSpec, cut: &str, plan: &NoisePlan) -> Result<SnrDb> {
     let pos = spec
         .position_of(cut)
         .ok_or_else(|| CoreError::Nn(redeye_nn::NnError::UnknownLayer { name: cut.into() }))?;
@@ -180,7 +175,7 @@ pub fn predicted_output_snr(
     let mut stages = vec![plan.default_snr()];
     for layer in &spec.layers[..=pos] {
         let snr = plan.snr_for(layer.name());
-        stages.extend(std::iter::repeat(snr).take(noisy_stages(layer)));
+        stages.extend(std::iter::repeat_n(snr, noisy_stages(layer)));
     }
     Ok(redeye_analog::cumulative_snr(&stages))
 }

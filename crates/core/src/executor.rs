@@ -20,7 +20,7 @@ use redeye_analog::calib::{
     SWING,
 };
 use redeye_analog::{Comparator, DampingConfig, SarAdc, Seconds, SnrDb};
-use redeye_tensor::{im2col, matmul, ConvGeom, PoolGeom, Rng, Tensor};
+use redeye_tensor::{gemm_into, im2col_into, ConvGeom, PoolGeom, Rng, Tensor, Workspace};
 
 /// Result of executing one frame.
 #[derive(Debug, Clone)]
@@ -73,6 +73,11 @@ pub struct Executor {
     comparator: Comparator,
     /// Number of column slices available for this program's sensor array.
     columns: f64,
+    /// Reusable `im2col`/GEMM scratch shared by every conv instruction;
+    /// grows to the program's high-water mark on the first frame.
+    ws: Workspace,
+    /// GEMM thread budget for conv instructions (see [`Executor::set_threads`]).
+    threads: usize,
 }
 
 impl Executor {
@@ -85,7 +90,15 @@ impl Executor {
             rng: Rng::seed_from(seed),
             comparator: Comparator::new(),
             columns,
+            ws: Workspace::new(),
+            threads: 1,
         }
+    }
+
+    /// Sets the GEMM thread budget for conv instructions. Results are
+    /// bit-identical across budgets; small products stay serial regardless.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
     }
 
     /// The loaded program.
@@ -168,14 +181,28 @@ impl Executor {
                     codes.iter().map(|&c| c as f32 * scale).collect(),
                     &[*out_c, patch],
                 )?;
-                let cols = im2col(x, &geom)?;
-                let mut out = matmul(&weights, &cols)?;
                 let positions = geom.out_positions();
+                let (cols, packs) = self.ws.split_im2col_packs();
+                im2col_into(x, &geom, cols)?;
+                let mut out = vec![0.0f32; *out_c * positions];
+                gemm_into(
+                    packs,
+                    false,
+                    false,
+                    weights.as_slice(),
+                    cols,
+                    &mut out,
+                    *out_c,
+                    positions,
+                    patch,
+                    self.threads,
+                );
                 for (oc, &b) in bias.iter().enumerate() {
-                    for v in &mut out.as_mut_slice()[oc * positions..(oc + 1) * positions] {
+                    for v in &mut out[oc * positions..(oc + 1) * positions] {
                         *v += b;
                     }
                 }
+                let out = Tensor::from_vec(out, &[*out_c, positions])?;
                 let out = self.add_layer_noise(out, *snr);
                 let out = clip_and_rectify(out, *relu);
 

@@ -361,6 +361,23 @@ impl Network {
         }
     }
 
+    /// Sets the GEMM thread budget on every layer (recursing into concat
+    /// branches). Results are bit-identical across budgets; small products
+    /// ignore the budget and stay serial, so this is safe to set high on
+    /// networks with a mix of layer sizes.
+    pub fn set_threads(&mut self, threads: usize) {
+        for node in &mut self.nodes {
+            match node {
+                Node::Layer(layer) => layer.set_threads(threads),
+                Node::Concat { branches, .. } => {
+                    for b in branches {
+                        b.set_threads(threads);
+                    }
+                }
+            }
+        }
+    }
+
     /// Total parameter count.
     pub fn param_count(&mut self) -> usize {
         let mut count = 0usize;

@@ -58,4 +58,13 @@ pub trait Layer: Send {
     fn set_training(&mut self, training: bool) {
         let _ = training;
     }
+
+    /// Sets the GEMM thread budget for this layer's matrix products.
+    ///
+    /// Layers with no matrix products ignore it. Results are bit-identical
+    /// across budgets; this only trades wall-clock for cores. The default
+    /// (and the budget every layer starts with) is 1.
+    fn set_threads(&mut self, threads: usize) {
+        let _ = threads;
+    }
 }

@@ -1,9 +1,7 @@
 //! 2-D convolution with optional fused rectification.
 
 use crate::{Layer, NnError, Result, WeightInit};
-use redeye_tensor::{
-    col2im, im2col, matmul, matmul_transpose_a, matmul_transpose_b, ConvGeom, Rng, Tensor,
-};
+use redeye_tensor::{col2im, gemm_into, im2col_into, ConvGeom, Rng, Tensor, Workspace};
 
 /// A 2-D convolution layer (`C×H×W` → `out_c×H'×W'`), optionally fused with a
 /// ReLU, matching RedEye's convolutional module which rectifies by clipping
@@ -21,6 +19,12 @@ pub struct Conv2d {
     bias: Tensor,
     grad_weights: Tensor,
     grad_bias: Tensor,
+    /// Reusable `im2col`/GEMM-packing scratch; grows to the layer's
+    /// steady-state high-water mark on the first forward pass and is never
+    /// reallocated afterwards.
+    ws: Workspace,
+    /// GEMM thread budget for this layer's products (see [`Layer::set_threads`]).
+    threads: usize,
 }
 
 impl Conv2d {
@@ -55,6 +59,8 @@ impl Conv2d {
             bias: Tensor::zeros(&[out_c]),
             grad_weights: Tensor::zeros(&[out_c, patch]),
             grad_bias: Tensor::zeros(&[out_c]),
+            ws: Workspace::new(),
+            threads: 1,
         })
     }
 
@@ -112,27 +118,45 @@ impl Layer for Conv2d {
 
     fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
         self.check_input(input)?;
-        let cols = im2col(input, &self.geom)?;
-        let mut out = matmul(&self.weights, &cols)?;
         let positions = self.geom.out_positions();
-        {
-            let data = out.as_mut_slice();
-            for oc in 0..self.out_c {
-                let b = self.bias.as_slice()[oc];
-                for v in &mut data[oc * positions..(oc + 1) * positions] {
-                    *v += b;
-                    if self.relu && *v < 0.0 {
-                        *v = 0.0;
-                    }
+        let patch = self.geom.patch_len();
+        // Lower to matrix form in the reusable workspace, then run the packed
+        // engine straight into the output buffer: at steady state the only
+        // per-call allocation is the returned output tensor itself.
+        let (cols, packs) = self.ws.split_im2col_packs();
+        im2col_into(input, &self.geom, cols)?;
+        let mut out = vec![0.0f32; self.out_c * positions];
+        gemm_into(
+            packs,
+            false,
+            false,
+            self.weights.as_slice(),
+            cols,
+            &mut out,
+            self.out_c,
+            positions,
+            patch,
+            self.threads,
+        );
+        for oc in 0..self.out_c {
+            let b = self.bias.as_slice()[oc];
+            for v in &mut out[oc * positions..(oc + 1) * positions] {
+                *v += b;
+                if self.relu && *v < 0.0 {
+                    *v = 0.0;
                 }
             }
         }
-        Ok(out.into_reshaped(&[self.out_c, self.geom.out_h(), self.geom.out_w()])?)
+        Ok(Tensor::from_vec(
+            out,
+            &[self.out_c, self.geom.out_h(), self.geom.out_w()],
+        )?)
     }
 
     fn backward(&mut self, input: &Tensor, output: &Tensor, grad_out: &Tensor) -> Result<Tensor> {
         self.check_input(input)?;
         let positions = self.geom.out_positions();
+        let patch = self.geom.patch_len();
         // Gate the gradient through the fused ReLU using the saved output.
         let mut g = grad_out.reshape(&[self.out_c, positions])?;
         if self.relu {
@@ -149,12 +173,40 @@ impl Layer for Conv2d {
                 .sum();
             self.grad_bias.as_mut_slice()[oc] += row_sum;
         }
-        // Weight gradient: g · colsᵀ.
-        let cols = im2col(input, &self.geom)?;
-        let dw = matmul_transpose_b(&g, &cols)?;
-        self.grad_weights.add_scaled(&dw, 1.0)?;
+        let (cols, packs) = self.ws.split_im2col_packs();
+        im2col_into(input, &self.geom, cols)?;
+        // Weight gradient: g · colsᵀ (transpose absorbed by the pack step).
+        let mut dw = vec![0.0f32; self.out_c * patch];
+        gemm_into(
+            packs,
+            false,
+            true,
+            g.as_slice(),
+            cols,
+            &mut dw,
+            self.out_c,
+            patch,
+            positions,
+            self.threads,
+        );
+        for (acc, v) in self.grad_weights.as_mut_slice().iter_mut().zip(dw) {
+            *acc += v;
+        }
         // Input gradient: col2im(Wᵀ · g).
-        let dcols = matmul_transpose_a(&self.weights, &g)?;
+        let mut dcols = vec![0.0f32; patch * positions];
+        gemm_into(
+            packs,
+            true,
+            false,
+            self.weights.as_slice(),
+            g.as_slice(),
+            &mut dcols,
+            patch,
+            positions,
+            self.out_c,
+            self.threads,
+        );
+        let dcols = Tensor::from_vec(dcols, &[patch, positions])?;
         Ok(col2im(&dcols, &self.geom)?)
     }
 
@@ -166,6 +218,10 @@ impl Layer for Conv2d {
     fn zero_grads(&mut self) {
         self.grad_weights.map_in_place(|_| 0.0);
         self.grad_bias.map_in_place(|_| 0.0);
+    }
+
+    fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
     }
 }
 
@@ -269,6 +325,38 @@ mod tests {
                 "weight grad at {idx}: numeric {numeric} vs analytic {analytic}"
             );
         }
+    }
+
+    /// The acceptance criterion for the workspace refactor: once the first
+    /// forward pass has grown the `im2col`/packing scratch to its high-water
+    /// mark, later passes must not move or regrow any buffer — i.e. the hot
+    /// path performs zero per-call heap allocations for that scratch.
+    #[test]
+    fn workspace_buffers_stable_at_steady_state() {
+        let mut l = layer(true);
+        let mut rng = Rng::seed_from(11);
+        let x = Tensor::uniform(&[2, 5, 5], -1.0, 1.0, &mut rng);
+        let y = l.forward(&x).unwrap();
+        let g = Tensor::full(y.dims(), 0.5);
+        l.backward(&x, &y, &g).unwrap();
+        let baseline = l.ws.stats();
+        for _ in 0..4 {
+            let y = l.forward(&x).unwrap();
+            let g = Tensor::full(y.dims(), 0.5);
+            l.backward(&x, &y, &g).unwrap();
+            assert_eq!(l.ws.stats(), baseline, "workspace moved or regrew");
+        }
+    }
+
+    #[test]
+    fn threaded_forward_matches_serial() {
+        let mut l = layer(false);
+        let mut rng = Rng::seed_from(12);
+        let x = Tensor::uniform(&[2, 5, 5], -1.0, 1.0, &mut rng);
+        let serial = l.forward(&x).unwrap();
+        l.set_threads(4);
+        let threaded = l.forward(&x).unwrap();
+        assert_eq!(serial, threaded);
     }
 
     #[test]

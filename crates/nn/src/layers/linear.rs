@@ -1,7 +1,7 @@
 //! Fully-connected layer.
 
 use crate::{Layer, NnError, Result, WeightInit};
-use redeye_tensor::{matmul, matmul_transpose_a, matmul_transpose_b, Rng, Tensor};
+use redeye_tensor::{gemm_into, PackBuffers, Rng, Tensor};
 
 /// A fully-connected (dense) layer over a flat feature vector, with optional
 /// fused rectification.
@@ -20,6 +20,10 @@ pub struct Linear {
     bias: Tensor,
     grad_weights: Tensor,
     grad_bias: Tensor,
+    /// Reusable GEMM packing scratch (dense layers have no `im2col` stage).
+    packs: PackBuffers,
+    /// GEMM thread budget (see [`Layer::set_threads`]).
+    threads: usize,
 }
 
 impl Linear {
@@ -41,6 +45,8 @@ impl Linear {
             bias: Tensor::zeros(&[out_features]),
             grad_weights: Tensor::zeros(&[out_features, in_features]),
             grad_bias: Tensor::zeros(&[out_features]),
+            packs: PackBuffers::new(),
+            threads: 1,
         }
     }
 
@@ -86,15 +92,26 @@ impl Layer for Linear {
 
     fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
         self.check_input(input)?;
-        let x = input.reshape(&[self.in_features, 1])?;
-        let mut y = matmul(&self.weights, &x)?;
+        let mut y = vec![0.0f32; self.out_features];
+        gemm_into(
+            &mut self.packs,
+            false,
+            false,
+            self.weights.as_slice(),
+            input.as_slice(),
+            &mut y,
+            self.out_features,
+            1,
+            self.in_features,
+            self.threads,
+        );
         for (v, &b) in y.iter_mut().zip(self.bias.iter()) {
             *v += b;
             if self.relu && *v < 0.0 {
                 *v = 0.0;
             }
         }
-        Ok(y.into_reshaped(&[self.out_features])?)
+        Ok(Tensor::from_vec(y, &[self.out_features])?)
     }
 
     fn backward(&mut self, input: &Tensor, output: &Tensor, grad_out: &Tensor) -> Result<Tensor> {
@@ -108,14 +125,38 @@ impl Layer for Linear {
             }
         }
         self.grad_bias.add_scaled(&g, 1.0)?;
-        let g_col = g.reshape(&[self.out_features, 1])?;
-        let x_col = input.reshape(&[self.in_features, 1])?;
-        // dW = g · xᵀ
-        let dw = matmul_transpose_b(&g_col, &x_col)?;
-        self.grad_weights.add_scaled(&dw, 1.0)?;
-        // dx = Wᵀ · g
-        let dx = matmul_transpose_a(&self.weights, &g_col)?;
-        Ok(dx.into_reshaped(&[self.in_features])?)
+        // dW = g · xᵀ: a rank-1 outer product, i.e. GEMM with n = in, k = 1.
+        let mut dw = vec![0.0f32; self.out_features * self.in_features];
+        gemm_into(
+            &mut self.packs,
+            false,
+            false,
+            g.as_slice(),
+            input.as_slice(),
+            &mut dw,
+            self.out_features,
+            self.in_features,
+            1,
+            self.threads,
+        );
+        for (acc, v) in self.grad_weights.as_mut_slice().iter_mut().zip(dw) {
+            *acc += v;
+        }
+        // dx = Wᵀ · g (transpose absorbed by the pack step).
+        let mut dx = vec![0.0f32; self.in_features];
+        gemm_into(
+            &mut self.packs,
+            true,
+            false,
+            self.weights.as_slice(),
+            g.as_slice(),
+            &mut dx,
+            self.in_features,
+            1,
+            self.out_features,
+            self.threads,
+        );
+        Ok(Tensor::from_vec(dx, &[self.in_features])?)
     }
 
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
@@ -126,6 +167,10 @@ impl Layer for Linear {
     fn zero_grads(&mut self) {
         self.grad_weights.map_in_place(|_| 0.0);
         self.grad_bias.map_in_place(|_| 0.0);
+    }
+
+    fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
     }
 }
 

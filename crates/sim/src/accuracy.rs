@@ -26,17 +26,36 @@ pub struct AccuracyReport {
 pub struct AccuracyHarness {
     examples: Vec<(Tensor, usize)>,
     threads: usize,
+    gemm_threads: usize,
 }
 
 impl AccuracyHarness {
     /// Creates a harness over pre-generated `(input, label)` pairs.
+    ///
+    /// `threads` is the *frame-level* budget: the validation set is sharded
+    /// into that many worker threads, which is where the throughput win
+    /// lives for sweep workloads. Per-layer GEMM threading defaults to 1
+    /// (see [`AccuracyHarness::with_gemm_threads`]).
     ///
     /// # Panics
     ///
     /// Panics if `threads` is zero.
     pub fn new(examples: Vec<(Tensor, usize)>, threads: usize) -> Self {
         assert!(threads > 0, "need at least one worker thread");
-        AccuracyHarness { examples, threads }
+        AccuracyHarness {
+            examples,
+            threads,
+            gemm_threads: 1,
+        }
+    }
+
+    /// Sets the per-layer GEMM thread budget applied to every worker's
+    /// network. Frame-level sharding usually saturates the cores first;
+    /// raise this only when frames are scarce and layers are large.
+    #[must_use]
+    pub fn with_gemm_threads(mut self, gemm_threads: usize) -> Self {
+        self.gemm_threads = gemm_threads.max(1);
+        self
     }
 
     /// Number of validation examples.
@@ -74,6 +93,7 @@ impl AccuracyHarness {
                     scope.spawn(move |_| -> Result<(TopKAccuracy, TopKAccuracy)> {
                         let mut net = build(worker)?;
                         net.set_training(false);
+                        net.set_threads(self.gemm_threads);
                         let mut top1 = TopKAccuracy::new(1);
                         let mut top5 = TopKAccuracy::new(5);
                         for (input, label) in shard.iter() {

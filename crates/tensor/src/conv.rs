@@ -306,6 +306,23 @@ impl PoolGeom {
 /// Returns [`TensorError::ShapeMismatch`] if `input` is not `C×H×W` matching
 /// `geom`.
 pub fn im2col(input: &Tensor, geom: &ConvGeom) -> Result<Tensor, TensorError> {
+    let mut out = Vec::new();
+    im2col_into(input, geom, &mut out)?;
+    Tensor::from_vec(out, &[geom.patch_len(), geom.out_positions()])
+}
+
+/// Allocation-free variant of [`im2col`]: lowers into a caller-owned buffer.
+///
+/// `out` is cleared and refilled with the `(patch_len × out_positions)`
+/// matrix in row-major order; its capacity is reused across calls, so a
+/// buffer held in a [`crate::Workspace`] reaches a steady state with zero
+/// per-call heap allocations. Padding taps are written as zeros.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `input` is not `C×H×W` matching
+/// `geom`.
+pub fn im2col_into(input: &Tensor, geom: &ConvGeom, out: &mut Vec<f32>) -> Result<(), TensorError> {
     let expected = [geom.in_c(), geom.in_h(), geom.in_w()];
     if input.dims() != expected {
         return Err(TensorError::ShapeMismatch {
@@ -317,7 +334,10 @@ pub fn im2col(input: &Tensor, geom: &ConvGeom) -> Result<Tensor, TensorError> {
     let (in_h, in_w) = (geom.in_h() as isize, geom.in_w() as isize);
     let cols = geom.out_positions();
     let rows = geom.patch_len();
-    let mut out = vec![0.0f32; rows * cols];
+    // clear + resize zero-fills within existing capacity (no reallocation
+    // once the buffer has reached its high-water mark).
+    out.clear();
+    out.resize(rows * cols, 0.0);
     let mut row = 0usize;
     for c in 0..geom.in_c() {
         let plane = &src[c * geom.in_h() * geom.in_w()..];
@@ -339,7 +359,7 @@ pub fn im2col(input: &Tensor, geom: &ConvGeom) -> Result<Tensor, TensorError> {
             }
         }
     }
-    Tensor::from_vec(out, &[rows, cols])
+    Ok(())
 }
 
 /// Inverse of [`im2col`]: scatters a patch matrix back onto a `C×H×W` plane,

@@ -1,0 +1,477 @@
+//! Packed, cache-blocked, multi-threaded GEMM engine.
+//!
+//! Convolutions lower onto matrix products via `im2col`, so this one kernel
+//! carries essentially all the arithmetic of the digital reference path and
+//! of the functional analog executor. It follows the classic BLIS/GotoBLAS
+//! decomposition, in safe Rust:
+//!
+//! - The operand matrices are tiled into `MC×KC` blocks of A and `KC×NC`
+//!   panels of B, sized so the packed A block lives in L2 and each B
+//!   column-panel streams through L1.
+//! - Both operands are *packed* into contiguous panel buffers before the
+//!   inner loops run. Packing reads the source once (in whatever layout the
+//!   transpose flags dictate) and writes panel-major scratch, which is what
+//!   lets a single engine serve `A·B`, `Aᵀ·B`, and `A·Bᵀ` — the transpose
+//!   is absorbed by the gather in the pack step and the inner loops never
+//!   see it.
+//! - An `MR×NR` register microkernel with fixed-size array accumulators
+//!   does the arithmetic; the fixed extents let the compiler keep the
+//!   accumulator tile in vector registers and unroll the update.
+//! - When a thread budget is given and the product is large enough to
+//!   amortize spawning, output row bands are computed in parallel with
+//!   scoped threads. Workers share the packed B panel read-only and each
+//!   packs its own A blocks into a private region of the caller's
+//!   [`PackBuffers`], so the parallel path allocates nothing either.
+//!
+//! Results are bit-identical across thread counts: every output element is
+//! accumulated by exactly one worker in the same `KC`-block order.
+
+use crate::workspace::{PackBuffers, Workspace};
+use crate::{Tensor, TensorError};
+
+/// Microkernel tile rows (output rows accumulated in registers at once).
+const MR: usize = 8;
+/// Microkernel tile columns.
+const NR: usize = 16;
+/// Rows of A packed per L2-resident block (multiple of `MR`).
+const MC: usize = 64;
+/// Inner-dimension extent of one packed block.
+const KC: usize = 256;
+/// Columns of B packed per shared panel (multiple of `NR`).
+const NC: usize = 512;
+/// Below this many flops (2·m·n·k) the product runs single-threaded: the
+/// thread-spawn cost exceeds the work of a whole small product.
+const PARALLEL_FLOP_THRESHOLD: usize = 1 << 18;
+
+/// Grows `v` to at least `len` elements and returns the prefix slice.
+fn ensure_len(v: &mut Vec<f32>, len: usize) -> &mut [f32] {
+    if v.len() < len {
+        v.resize(len, 0.0);
+    }
+    &mut v[..len]
+}
+
+/// Packs the `mc×kc` block of `op(A)` starting at (`row0`, `pc`) into
+/// MR-row panels: `dst[panel][p][r] = op(A)[row0 + panel·MR + r][pc + p]`,
+/// zero-padding rows past `mc` so the microkernel never branches on edges.
+///
+/// `trans_a` selects the gather: `op(A)[i][p]` reads `a[i·k + p]` when
+/// `false` (A stored `m×k`) and `a[p·m + i]` when `true` (A stored `k×m`).
+#[allow(clippy::too_many_arguments)]
+fn pack_a_block(
+    a: &[f32],
+    trans_a: bool,
+    m: usize,
+    k: usize,
+    row0: usize,
+    mc: usize,
+    pc: usize,
+    kc: usize,
+    dst: &mut [f32],
+) {
+    let panels = mc.div_ceil(MR);
+    for pi in 0..panels {
+        let panel = &mut dst[pi * MR * kc..(pi + 1) * MR * kc];
+        for p in 0..kc {
+            for r in 0..MR {
+                let row = pi * MR + r;
+                panel[p * MR + r] = if row < mc {
+                    let (i, pp) = (row0 + row, pc + p);
+                    if trans_a {
+                        a[pp * m + i]
+                    } else {
+                        a[i * k + pp]
+                    }
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+/// Packs the `kc×nc` panel of `op(B)` starting at (`pc`, `jc`) into NR-column
+/// panels: `dst[panel][p][c] = op(B)[pc + p][jc + panel·NR + c]`, zero-padded
+/// past `nc`.
+///
+/// `trans_b` selects the gather: `op(B)[p][j]` reads `b[p·n + j]` when
+/// `false` (B stored `k×n`) and `b[j·k + p]` when `true` (B stored `n×k`).
+#[allow(clippy::too_many_arguments)]
+fn pack_b_panel(
+    b: &[f32],
+    trans_b: bool,
+    n: usize,
+    k: usize,
+    jc: usize,
+    nc: usize,
+    pc: usize,
+    kc: usize,
+    dst: &mut [f32],
+) {
+    let panels = nc.div_ceil(NR);
+    for pi in 0..panels {
+        let panel = &mut dst[pi * NR * kc..(pi + 1) * NR * kc];
+        for p in 0..kc {
+            for c in 0..NR {
+                let col = pi * NR + c;
+                panel[p * NR + c] = if col < nc {
+                    let (j, pp) = (jc + col, pc + p);
+                    if trans_b {
+                        b[j * k + pp]
+                    } else {
+                        b[pp * n + j]
+                    }
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+/// The register microkernel: one `MR×NR` accumulator tile over a shared
+/// inner extent. `apanel` is `kc` steps of `MR` packed A values, `bpanel`
+/// `kc` steps of `NR` packed B values; the fixed-size accumulator array and
+/// `chunks_exact` iteration make the loop body branch- and bounds-check
+/// free, which is what lets the compiler vectorize it.
+#[inline(always)]
+fn fma_row(acc: &mut [f32; NR], a: f32, b: &[f32; NR]) {
+    for c in 0..NR {
+        acc[c] += a * b[c];
+    }
+}
+
+#[inline(always)]
+fn microkernel(apanel: &[f32], bpanel: &[f32]) -> [[f32; NR]; MR] {
+    let mut r0 = [0.0f32; NR];
+    let mut r1 = [0.0f32; NR];
+    let mut r2 = [0.0f32; NR];
+    let mut r3 = [0.0f32; NR];
+    let mut r4 = [0.0f32; NR];
+    let mut r5 = [0.0f32; NR];
+    let mut r6 = [0.0f32; NR];
+    let mut r7 = [0.0f32; NR];
+    let (asteps, _) = apanel.as_chunks::<MR>();
+    let (bsteps, _) = bpanel.as_chunks::<NR>();
+    for (ap, b) in asteps.iter().zip(bsteps.iter()) {
+        fma_row(&mut r0, ap[0], b);
+        fma_row(&mut r1, ap[1], b);
+        fma_row(&mut r2, ap[2], b);
+        fma_row(&mut r3, ap[3], b);
+        fma_row(&mut r4, ap[4], b);
+        fma_row(&mut r5, ap[5], b);
+        fma_row(&mut r6, ap[6], b);
+        fma_row(&mut r7, ap[7], b);
+    }
+    [r0, r1, r2, r3, r4, r5, r6, r7]
+}
+
+/// Computes one output row band (`band_m` rows starting at global row
+/// `row0`) against the shared packed B panel, packing A blocks into the
+/// worker-private `apack` scratch. `out_band` is the band's row-major slice
+/// of the full output (width `n`); contributions are accumulated so the
+/// `KC`-blocked outer loop can sum partial products.
+#[allow(clippy::too_many_arguments)]
+fn compute_band(
+    a: &[f32],
+    trans_a: bool,
+    m: usize,
+    k: usize,
+    n: usize,
+    bpack: &[f32],
+    apack: &mut [f32],
+    out_band: &mut [f32],
+    row0: usize,
+    band_m: usize,
+    jc: usize,
+    nc: usize,
+    pc: usize,
+    kc: usize,
+) {
+    let col_panels = nc.div_ceil(NR);
+    let mut ic = 0usize;
+    while ic < band_m {
+        let mc = MC.min(band_m - ic);
+        pack_a_block(a, trans_a, m, k, row0 + ic, mc, pc, kc, apack);
+        let row_panels = mc.div_ceil(MR);
+        // Col-panel outer / row-panel inner keeps the `KC×NR` B slice hot in
+        // L1 while successive A panels stream from the packed L2 block.
+        for pj in 0..col_panels {
+            let bpanel = &bpack[pj * NR * kc..][..NR * kc];
+            for pi in 0..row_panels {
+                let apanel = &apack[pi * MR * kc..][..MR * kc];
+                let rows = MR.min(mc - pi * MR);
+                let acc = microkernel(apanel, bpanel);
+                let cols = NR.min(nc - pj * NR);
+                for (r, acc_row) in acc.iter().enumerate().take(rows) {
+                    let base = (ic + pi * MR + r) * n + jc + pj * NR;
+                    for (dst, &v) in out_band[base..base + cols].iter_mut().zip(acc_row.iter()) {
+                        *dst += v;
+                    }
+                }
+            }
+        }
+        ic += mc;
+    }
+}
+
+/// Computes `out = op(A) · op(B)` over raw row-major slices.
+///
+/// `op(X)` is `X` or `Xᵀ` per the transpose flags; `m`, `n`, `k` are the
+/// *logical* dimensions of the product (`op(A)` is `m×k`, `op(B)` is `k×n`).
+/// `out` is fully overwritten. Packing scratch comes from `packs` and is
+/// only ever grown, so steady-state calls at a fixed shape allocate
+/// nothing. `threads` bounds worker parallelism over output row bands;
+/// small products ignore it and run serially.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with the stated dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_into(
+    packs: &mut PackBuffers,
+    trans_a: bool,
+    trans_b: bool,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    threads: usize,
+) {
+    assert_eq!(a.len(), m * k, "operand A length vs {m}x{k}");
+    assert_eq!(b.len(), k * n, "operand B length vs {k}x{n}");
+    assert_eq!(out.len(), m * n, "output length vs {m}x{n}");
+    out.fill(0.0);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let flops = 2usize.saturating_mul(m).saturating_mul(n).saturating_mul(k);
+    let threads = if flops < PARALLEL_FLOP_THRESHOLD {
+        1
+    } else {
+        threads.clamp(1, m.div_ceil(MR))
+    };
+
+    let mut jc = 0usize;
+    while jc < n {
+        let nc = NC.min(n - jc);
+        let mut pc = 0usize;
+        while pc < k {
+            let kc = KC.min(k - pc);
+            let bpack = ensure_len(&mut packs.b, nc.div_ceil(NR) * NR * kc);
+            pack_b_panel(b, trans_b, n, k, jc, nc, pc, kc, bpack);
+            if threads == 1 {
+                let apack = ensure_len(&mut packs.a, MC * KC);
+                compute_band(a, trans_a, m, k, n, bpack, apack, out, 0, m, jc, nc, pc, kc);
+            } else {
+                // One MR-aligned row band per worker; each worker packs A
+                // into its private region and owns its band of `out`, so the
+                // packed B panel is the only shared (read-only) state.
+                let band_rows = m.div_ceil(threads).div_ceil(MR) * MR;
+                let apack_all = ensure_len(&mut packs.a, threads * MC * KC);
+                let bpack: &[f32] = bpack;
+                crossbeam::thread::scope(|scope| {
+                    let handles: Vec<_> = out
+                        .chunks_mut(band_rows * n)
+                        .zip(apack_all.chunks_mut(MC * KC))
+                        .enumerate()
+                        .map(|(t, (out_band, apack))| {
+                            scope.spawn(move |_| {
+                                let band_m = out_band.len() / n;
+                                compute_band(
+                                    a,
+                                    trans_a,
+                                    m,
+                                    k,
+                                    n,
+                                    bpack,
+                                    apack,
+                                    out_band,
+                                    t * band_rows,
+                                    band_m,
+                                    jc,
+                                    nc,
+                                    pc,
+                                    kc,
+                                );
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        h.join().expect("gemm worker panicked");
+                    }
+                })
+                .expect("gemm thread scope");
+            }
+            pc += kc;
+        }
+        jc += nc;
+    }
+}
+
+/// Computes `op(A) · op(B)` over rank-2 tensors through the packed engine.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if either operand is not rank-2 and
+/// [`TensorError::InnerDimMismatch`] if the inner dimensions disagree after
+/// applying the transpose flags.
+///
+/// # Example
+///
+/// ```
+/// use redeye_tensor::{gemm, Tensor, Workspace};
+///
+/// # fn main() -> Result<(), redeye_tensor::TensorError> {
+/// let mut ws = Workspace::new();
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3])?;
+/// let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2])?;
+/// let c = gemm(&mut ws, false, false, &a, &b, 1)?;
+/// assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn gemm(
+    ws: &mut Workspace,
+    trans_a: bool,
+    trans_b: bool,
+    a: &Tensor,
+    b: &Tensor,
+    threads: usize,
+) -> Result<Tensor, TensorError> {
+    let (ar, ac) = crate::linalg::matrix_dims(a)?;
+    let (br, bc) = crate::linalg::matrix_dims(b)?;
+    let (m, ka) = if trans_a { (ac, ar) } else { (ar, ac) };
+    let (kb, n) = if trans_b { (bc, br) } else { (br, bc) };
+    if ka != kb {
+        return Err(TensorError::InnerDimMismatch {
+            left_cols: ka,
+            right_rows: kb,
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    gemm_into(
+        &mut ws.packs,
+        trans_a,
+        trans_b,
+        a.as_slice(),
+        b.as_slice(),
+        &mut out,
+        m,
+        n,
+        ka,
+        threads,
+    );
+    Tensor::from_vec(out, &[m, n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg::matmul_naive;
+    use crate::Rng;
+
+    fn random(rows: usize, cols: usize, seed: u64) -> Tensor {
+        let mut rng = Rng::seed_from(seed);
+        Tensor::uniform(&[rows, cols], -1.0, 1.0, &mut rng)
+    }
+
+    fn assert_close(got: &Tensor, want: &Tensor) {
+        assert_eq!(got.dims(), want.dims());
+        for (g, w) in got.iter().zip(want.iter()) {
+            let tol = 1e-4 * w.abs().max(1.0);
+            assert!((g - w).abs() <= tol, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_non_multiple_of_block_dims() {
+        let mut ws = Workspace::new();
+        // Dimensions straddle MR/NR/MC/KC/NC boundaries.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (4, 8, 8),
+            (65, 257, 9),
+            (70, 300, 513),
+        ] {
+            let a = random(m, k, m as u64);
+            let b = random(k, n, n as u64 + 100);
+            let got = gemm(&mut ws, false, false, &a, &b, 1).unwrap();
+            let want = matmul_naive(&a, &b).unwrap();
+            assert_close(&got, &want);
+        }
+    }
+
+    #[test]
+    fn transpose_flags_match_explicit_transposes() {
+        let mut ws = Workspace::new();
+        let a = random(13, 9, 1);
+        let b = random(13, 17, 2);
+        // aᵀ(9×13) · b(13×17)
+        let want = matmul_naive(&a.transpose2().unwrap(), &b).unwrap();
+        let got = gemm(&mut ws, true, false, &a, &b, 1).unwrap();
+        assert_close(&got, &want);
+        // c(9×13) · dᵀ(13×21)
+        let c = random(9, 13, 3);
+        let d = random(21, 13, 4);
+        let want = matmul_naive(&c, &d.transpose2().unwrap()).unwrap();
+        let got = gemm(&mut ws, false, true, &c, &d, 1).unwrap();
+        assert_close(&got, &want);
+        // both transposed: aᵀ(9×13) · dᵀ(13×21)
+        let want = matmul_naive(&a.transpose2().unwrap(), &d.transpose2().unwrap()).unwrap();
+        let got = gemm(&mut ws, true, true, &a, &d, 1).unwrap();
+        assert_close(&got, &want);
+    }
+
+    #[test]
+    fn threaded_result_is_bit_identical_to_serial() {
+        let mut ws = Workspace::new();
+        let a = random(150, 80, 5);
+        let b = random(80, 90, 6);
+        let serial = gemm(&mut ws, false, false, &a, &b, 1).unwrap();
+        for threads in [2, 3, 4, 7] {
+            let parallel = gemm(&mut ws, false, false, &a, &b, threads).unwrap();
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn degenerate_inner_dimension_yields_zeros() {
+        let mut ws = Workspace::new();
+        let a = Tensor::zeros(&[3, 0]);
+        let b = Tensor::zeros(&[0, 4]);
+        let c = gemm(&mut ws, false, false, &a, &b, 4).unwrap();
+        assert_eq!(c.dims(), &[3, 4]);
+        assert!(c.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn inner_dim_mismatch_rejected() {
+        let mut ws = Workspace::new();
+        let a = random(3, 4, 7);
+        let b = random(5, 6, 8);
+        assert!(matches!(
+            gemm(&mut ws, false, false, &a, &b, 1),
+            Err(TensorError::InnerDimMismatch { .. })
+        ));
+        // With trans_a the inner dim becomes 3, still != 5.
+        assert!(gemm(&mut ws, true, false, &a, &b, 1).is_err());
+    }
+
+    #[test]
+    fn workspace_buffers_stable_across_repeated_calls() {
+        let mut ws = Workspace::new();
+        let a = random(70, 300, 9);
+        let b = random(300, 120, 10);
+        // First call grows the scratch to its high-water mark.
+        gemm(&mut ws, false, false, &a, &b, 2).unwrap();
+        let before = ws.stats();
+        for _ in 0..3 {
+            gemm(&mut ws, false, false, &a, &b, 2).unwrap();
+        }
+        assert_eq!(before, ws.stats(), "pack buffers must not reallocate");
+    }
+}

@@ -29,18 +29,22 @@
 
 mod conv;
 mod error;
+mod gemm;
 mod linalg;
 mod ops;
 mod rng;
 mod shape;
 mod tensor;
+mod workspace;
 
-pub use conv::{col2im, im2col, ConvGeom, PoolGeom, RoundMode};
+pub use conv::{col2im, im2col, im2col_into, ConvGeom, PoolGeom, RoundMode};
 pub use error::TensorError;
-pub use linalg::{matmul, matmul_transpose_a, matmul_transpose_b};
+pub use gemm::{gemm, gemm_into};
+pub use linalg::{matmul, matmul_naive, matmul_transpose_a, matmul_transpose_b};
 pub use rng::Rng;
 pub use shape::Shape;
 pub use tensor::Tensor;
+pub use workspace::{PackBuffers, Workspace, WorkspaceStats};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,13 +1,26 @@
 //! Dense matrix products used by the ConvNet framework.
 //!
 //! Convolutions lower to matrix multiplication via `im2col`, so these three
-//! kernels (plain, transpose-A, transpose-B) carry essentially all of the
-//! arithmetic in the digital reference path. They are written as cache-aware
-//! ikj loops over contiguous rows — no unsafe, no dependencies.
+//! entry points (plain, transpose-A, transpose-B) carry essentially all of
+//! the arithmetic in the digital reference path. All three delegate to the
+//! packed cache-blocked engine in [`crate::gemm`] — the transpose variants
+//! are absorbed by the pack step's gather, not separate loops — using a
+//! thread-local [`Workspace`] so repeated calls at a fixed shape reuse the
+//! same scratch. A deliberately simple [`matmul_naive`] reference is
+//! retained for equivalence testing and benchmarking.
 
-use crate::{Tensor, TensorError};
+use crate::workspace::Workspace;
+use crate::{gemm, Tensor, TensorError};
+use std::cell::RefCell;
 
-fn matrix_dims(t: &Tensor) -> Result<(usize, usize), TensorError> {
+thread_local! {
+    /// Scratch for the drop-in `matmul*` wrappers. Layers and executors that
+    /// own a [`Workspace`] call [`gemm`]/[`crate::gemm_into`] directly; this
+    /// keeps the plain functional API allocation-free in steady state too.
+    static LOCAL_WS: RefCell<Workspace> = RefCell::new(Workspace::new());
+}
+
+pub(crate) fn matrix_dims(t: &Tensor) -> Result<(usize, usize), TensorError> {
     match t.dims() {
         [r, c] => Ok((*r, *c)),
         dims => Err(TensorError::RankMismatch {
@@ -37,6 +50,44 @@ fn matrix_dims(t: &Tensor) -> Result<(usize, usize), TensorError> {
 /// # }
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    LOCAL_WS.with(|ws| gemm(&mut ws.borrow_mut(), false, false, a, b, 1))
+}
+
+/// Computes `aᵀ (k×m)ᵀ · b (k×n) → (m×n)` without materializing `aᵀ`.
+///
+/// Used by the convolution *backward* pass (gradient w.r.t. inputs).
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] or [`TensorError::InnerDimMismatch`]
+/// under the same conditions as [`matmul`].
+pub fn matmul_transpose_a(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    LOCAL_WS.with(|ws| gemm(&mut ws.borrow_mut(), true, false, a, b, 1))
+}
+
+/// Computes `a (m×k) · bᵀ (n×k)ᵀ → (m×n)` without materializing `bᵀ`.
+///
+/// Used by the convolution backward pass (gradient w.r.t. weights).
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] or [`TensorError::InnerDimMismatch`]
+/// under the same conditions as [`matmul`].
+pub fn matmul_transpose_b(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    LOCAL_WS.with(|ws| gemm(&mut ws.borrow_mut(), false, true, a, b, 1))
+}
+
+/// The retained naive reference product: a cache-aware ikj triple loop with
+/// no packing, no blocking, and no threading.
+///
+/// This is the oracle the packed engine is property-tested against, and the
+/// baseline the benchmark suite measures speedups over. It is not used on
+/// any hot path.
+///
+/// # Errors
+///
+/// Same conditions as [`matmul`].
+pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     let (m, k) = matrix_dims(a)?;
     let (k2, n) = matrix_dims(b)?;
     if k != k2 {
@@ -59,77 +110,6 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
             for (o, &b_pj) in out_row.iter_mut().zip(b_row.iter()) {
                 *o += a_ip * b_pj;
             }
-        }
-    }
-    Tensor::from_vec(out, &[m, n])
-}
-
-/// Computes `aᵀ (k×m)ᵀ · b (k×n) → (m×n)` without materializing `aᵀ`.
-///
-/// Used by the convolution *backward* pass (gradient w.r.t. inputs).
-///
-/// # Errors
-///
-/// Returns [`TensorError::RankMismatch`] or [`TensorError::InnerDimMismatch`]
-/// under the same conditions as [`matmul`].
-pub fn matmul_transpose_a(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
-    let (k, m) = matrix_dims(a)?;
-    let (k2, n) = matrix_dims(b)?;
-    if k != k2 {
-        return Err(TensorError::InnerDimMismatch {
-            left_cols: k,
-            right_rows: k2,
-        });
-    }
-    let mut out = vec![0.0f32; m * n];
-    let a_data = a.as_slice();
-    let b_data = b.as_slice();
-    for p in 0..k {
-        let a_row = &a_data[p * m..(p + 1) * m];
-        let b_row = &b_data[p * n..(p + 1) * n];
-        for (i, &a_pi) in a_row.iter().enumerate() {
-            if a_pi == 0.0 {
-                continue;
-            }
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (o, &b_pj) in out_row.iter_mut().zip(b_row.iter()) {
-                *o += a_pi * b_pj;
-            }
-        }
-    }
-    Tensor::from_vec(out, &[m, n])
-}
-
-/// Computes `a (m×k) · bᵀ (n×k)ᵀ → (m×n)` without materializing `bᵀ`.
-///
-/// Used by the convolution backward pass (gradient w.r.t. weights).
-///
-/// # Errors
-///
-/// Returns [`TensorError::RankMismatch`] or [`TensorError::InnerDimMismatch`]
-/// under the same conditions as [`matmul`].
-pub fn matmul_transpose_b(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
-    let (m, k) = matrix_dims(a)?;
-    let (n, k2) = matrix_dims(b)?;
-    if k != k2 {
-        return Err(TensorError::InnerDimMismatch {
-            left_cols: k,
-            right_rows: k2,
-        });
-    }
-    let mut out = vec![0.0f32; m * n];
-    let a_data = a.as_slice();
-    let b_data = b.as_slice();
-    for i in 0..m {
-        let a_row = &a_data[i * k..(i + 1) * k];
-        let out_row = &mut out[i * n..(i + 1) * n];
-        for (j, o) in out_row.iter_mut().enumerate() {
-            let b_row = &b_data[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (&x, &y) in a_row.iter().zip(b_row.iter()) {
-                acc += x * y;
-            }
-            *o = acc;
         }
     }
     Tensor::from_vec(out, &[m, n])
@@ -189,6 +169,18 @@ mod tests {
         ));
         let v = Tensor::zeros(&[3]);
         assert!(matmul(&v, &b).is_err());
+    }
+
+    #[test]
+    fn matmul_matches_naive_reference() {
+        let mut rng = crate::Rng::seed_from(3);
+        let a = Tensor::uniform(&[17, 33], -1.0, 1.0, &mut rng);
+        let b = Tensor::uniform(&[33, 29], -1.0, 1.0, &mut rng);
+        let packed = matmul(&a, &b).unwrap();
+        let naive = matmul_naive(&a, &b).unwrap();
+        for (p, n) in packed.iter().zip(naive.iter()) {
+            assert!((p - n).abs() <= 1e-4 * n.abs().max(1.0), "{p} vs {n}");
+        }
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! Property-based equivalence between the packed, blocked, optionally
+//! threaded GEMM engine and the retained naive reference.
+//!
+//! Shapes are sampled across the awkward cases the blocking logic has to get
+//! right: degenerate inner dimensions (`k = 0`), 1×1 tiles, extents that are
+//! not multiples of any block size, and thread budgets from 1 to several
+//! times the available row panels. Tolerance is 1e-4 *relative* — blocked
+//! accumulation reassociates sums, so bitwise equality with the naive loop
+//! is not expected (threaded-vs-serial bitwise equality, however, is).
+
+use proptest::prelude::*;
+use redeye_tensor::{gemm, matmul_naive, Rng, Tensor, Workspace};
+
+fn random(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let mut rng = Rng::seed_from(seed);
+    Tensor::uniform(&[rows, cols], -1.0, 1.0, &mut rng)
+}
+
+fn assert_close(packed: &Tensor, reference: &Tensor) {
+    assert_eq!(packed.dims(), reference.dims());
+    for (i, (p, r)) in packed.iter().zip(reference.iter()).enumerate() {
+        assert!(
+            (p - r).abs() <= 1e-4 * r.abs().max(1.0),
+            "element {i}: packed {p} vs reference {r}"
+        );
+    }
+}
+
+proptest! {
+    /// Random shapes, including k = 0 and extents straddling MR/NR/MC/KC/NC
+    /// boundaries, against the naive oracle.
+    #[test]
+    fn packed_matches_naive_on_random_shapes(
+        m in 1usize..=70,
+        k in 0usize..=70,
+        n in 1usize..=70,
+        seed in 0u64..=1_000_000,
+    ) {
+        let a = random(m, k, seed);
+        let b = random(k, n, seed ^ 0x9e3779b9);
+        let mut ws = Workspace::new();
+        let packed = gemm(&mut ws, false, false, &a, &b, 1).unwrap();
+        let naive = matmul_naive(&a, &b).unwrap();
+        assert_close(&packed, &naive);
+    }
+
+    /// Every transpose-flag combination must equal the naive product of the
+    /// explicitly transposed operands.
+    #[test]
+    fn transpose_flags_match_explicit_transposes(
+        m in 1usize..=33,
+        k in 1usize..=33,
+        n in 1usize..=33,
+        flags in 0usize..4,
+        seed in 0u64..=1_000_000,
+    ) {
+        let (ta, tb) = (flags & 1 != 0, flags & 2 != 0);
+        // Stored layouts: op(A) is m×k, so A is stored k×m when ta.
+        let a = if ta { random(k, m, seed) } else { random(m, k, seed) };
+        let b = if tb { random(n, k, seed ^ 7) } else { random(k, n, seed ^ 7) };
+        let mut ws = Workspace::new();
+        let packed = gemm(&mut ws, ta, tb, &a, &b, 1).unwrap();
+        let a_log = if ta { a.transpose2().unwrap() } else { a };
+        let b_log = if tb { b.transpose2().unwrap() } else { b };
+        let naive = matmul_naive(&a_log, &b_log).unwrap();
+        assert_close(&packed, &naive);
+    }
+
+    /// Any thread budget must produce bit-identical results to the serial
+    /// engine: every output element is accumulated by exactly one worker in
+    /// the same KC-block order.
+    #[test]
+    fn thread_budgets_are_bit_identical(
+        m in 1usize..=70,
+        k in 1usize..=50,
+        n in 1usize..=50,
+        threads in 2usize..=8,
+        seed in 0u64..=1_000_000,
+    ) {
+        let a = random(m, k, seed);
+        let b = random(k, n, seed ^ 0xabcd);
+        let mut ws = Workspace::new();
+        let serial = gemm(&mut ws, false, false, &a, &b, 1).unwrap();
+        let threaded = gemm(&mut ws, false, false, &a, &b, threads).unwrap();
+        assert_eq!(serial, threaded, "threads={threads}");
+    }
+
+    /// 1×1 output tiles (m = n = 1) exercise maximal edge padding in both
+    /// pack directions; k = 0 must yield the zero "matrix".
+    #[test]
+    fn one_by_one_tiles_and_degenerate_inner_dim(
+        k in 0usize..=17,
+        seed in 0u64..=1_000_000,
+    ) {
+        let a = random(1, k, seed);
+        let b = random(k, 1, seed ^ 0x55);
+        let mut ws = Workspace::new();
+        let packed = gemm(&mut ws, false, false, &a, &b, 1).unwrap();
+        let naive = matmul_naive(&a, &b).unwrap();
+        assert_close(&packed, &naive);
+        if k == 0 {
+            assert_eq!(packed.as_slice(), &[0.0]);
+        }
+    }
+}

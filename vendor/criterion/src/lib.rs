@@ -1,0 +1,185 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the benchmark-harness surface this workspace uses
+//! ([`Criterion::bench_function`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`criterion_group!`], [`criterion_main!`])
+//! backed by a simple wall-clock timer: each benchmark is warmed up
+//! briefly, then timed over enough iterations to fill a short measurement
+//! window, and the mean per-iteration time is printed. There is no
+//! statistical analysis, no HTML report, and no baseline comparison.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Controls how many batches `iter_batched` runs per measurement sample.
+/// The stand-in only distinguishes batch sizes nominally; all variants
+/// run one batch per sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup output (upstream default for cheap setup).
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// One setup per batch of iterations.
+    PerIteration,
+}
+
+/// Benchmark driver handed to the closure given to
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    /// Accumulated measured time across timed iterations.
+    elapsed: Duration,
+    /// Number of timed iterations contributing to `elapsed`.
+    iterations: u64,
+    /// Measurement window target.
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Bencher {
+            elapsed: Duration::ZERO,
+            iterations: 0,
+            budget,
+        }
+    }
+
+    /// Times `routine` repeatedly until the measurement window is filled.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: a few untimed runs to populate caches.
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let window = Instant::now();
+        while window.elapsed() < self.budget {
+            let start = Instant::now();
+            black_box(routine());
+            self.elapsed += start.elapsed();
+            self.iterations += 1;
+        }
+    }
+
+    /// Times `routine` over values produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..3 {
+            black_box(routine(setup()));
+        }
+        let window = Instant::now();
+        while window.elapsed() < self.budget {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iterations += 1;
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.iterations == 0 {
+            println!("{name:<48} no samples");
+            return;
+        }
+        let mean = self.elapsed.as_secs_f64() / self.iterations as f64;
+        let (scaled, unit) = if mean >= 1.0 {
+            (mean, "s")
+        } else if mean >= 1e-3 {
+            (mean * 1e3, "ms")
+        } else if mean >= 1e-6 {
+            (mean * 1e6, "µs")
+        } else {
+            (mean * 1e9, "ns")
+        };
+        println!(
+            "{name:<48} time: {scaled:>9.3} {unit}  ({} iterations)",
+            self.iterations
+        );
+    }
+}
+
+/// Entry point mirroring upstream's `Criterion` configuration handle.
+pub struct Criterion {
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the per-benchmark measurement window.
+    pub fn measurement_time(mut self, window: Duration) -> Self {
+        self.measurement = window;
+        self
+    }
+
+    /// Runs one named benchmark and prints its mean iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::new(self.measurement);
+        f(&mut bencher);
+        bencher.report(name);
+        self
+    }
+}
+
+/// Declares a group function that runs each listed benchmark in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts_iterations() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        let mut ran = 0u64;
+        c.bench_function("smoke/iter", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_feeds_setup_values() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        c.bench_function("smoke/iter_batched", |b| {
+            b.iter_batched(
+                || vec![1.0f32; 8],
+                |v| v.iter().sum::<f32>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}

@@ -1,0 +1,361 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the property-testing surface this workspace uses — the
+//! [`proptest!`] macro, range and collection [`strategy::Strategy`]s with
+//! `prop_map`/`prop_flat_map`, and the `prop_assert*`/`prop_assume!`
+//! macros — as plain randomized testing. Unlike upstream there is **no
+//! shrinking**: a failing case panics with the sampled inputs embedded in
+//! the assertion message instead of a minimized counterexample.
+//!
+//! Case count defaults to 32 per property and can be raised with the
+//! `PROPTEST_CASES` environment variable.
+
+#![forbid(unsafe_code)]
+
+/// Test-runner plumbing used by the [`proptest!`] macro expansion.
+pub mod test_runner {
+    use rand::{rngs::StdRng, SeedableRng};
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    /// Marker returned by `prop_assume!` to skip a sampled case.
+    #[derive(Debug)]
+    pub struct Reject;
+
+    /// The per-property random source (a seeded [`StdRng`]).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// Creates a generator seeded from the property name, so every run
+        /// replays the same cases (set `PROPTEST_CASES` to widen coverage).
+        pub fn deterministic(name: &str) -> Self {
+            let mut hasher = DefaultHasher::new();
+            name.hash(&mut hasher);
+            TestRng {
+                inner: StdRng::seed_from_u64(hasher.finish()),
+            }
+        }
+
+        /// The underlying generator.
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.inner
+        }
+    }
+
+    /// Number of cases per property (`PROPTEST_CASES`, default 32).
+    pub fn cases() -> usize {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(32)
+    }
+}
+
+/// Strategies: composable random-value generators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng as _;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of values of type `Value`.
+    ///
+    /// The stand-in keeps upstream's combinator names but samples directly
+    /// (no value trees, no shrinking).
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds a dependent strategy from each generated value.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn sample(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_int_ranges {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.rng().gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    if lo == hi {
+                        lo
+                    } else if hi < <$t>::MAX {
+                        rng.rng().gen_range(lo..hi + 1)
+                    } else {
+                        // Inclusive upper bound at the type maximum.
+                        let v = rng.rng().gen_range(lo..hi);
+                        if rng.rng().gen_range(0u32..2) == 0 { hi } else { v }
+                    }
+                }
+            }
+        )*};
+    }
+    impl_int_ranges!(usize, u32, u64, i32, i64);
+
+    macro_rules! impl_float_ranges {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let unit = rng.rng().gen::<$t>();
+                    self.start + (self.end - self.start) * unit
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let unit = rng.rng().gen::<$t>();
+                    self.start() + (self.end() - self.start()) * unit
+                }
+            }
+        )*};
+    }
+    impl_float_ranges!(f32, f64);
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng as _;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specification for [`vec()`]: a fixed size or a size range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy generating `Vec`s of values from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.lo == self.size.hi_inclusive {
+                self.size.lo
+            } else {
+                rng.rng()
+                    .gen_range(self.size.lo..self.size.hi_inclusive + 1)
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// The items a test module conventionally glob-imports.
+pub mod prelude {
+    /// Module alias so `prop::collection::vec(...)` resolves, as upstream.
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Defines randomized property tests.
+///
+/// Each `fn name(arg in strategy, ...) { body }` becomes a `#[test]` that
+/// samples every argument [`test_runner::cases`] times and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cases = $crate::test_runner::cases();
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            let mut accepted = 0usize;
+            let mut attempts = 0usize;
+            // The attempt cap bounds pathological `prop_assume!` rejection.
+            while accepted < cases && attempts < cases * 64 {
+                attempts += 1;
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                // The closure gives `prop_assume!` an early-return target.
+                #[allow(clippy::redundant_closure_call)]
+                let outcome: ::std::result::Result<(), $crate::test_runner::Reject> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if outcome.is_ok() {
+                    accepted += 1;
+                }
+            }
+            assert!(
+                accepted > 0,
+                "property `{}` rejected every sampled case",
+                stringify!($name)
+            );
+        }
+    )+};
+}
+
+/// Skips the current case when `cond` is false (rejection, not failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::Reject);
+        }
+    };
+}
+
+/// Asserts within a property body; failures panic with the sampled inputs
+/// visible in the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Equality assertion within a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(a in 1usize..10, b in 0.5f32..1.5, c in 2u32..=4) {
+            prop_assert!((1..10).contains(&a));
+            prop_assert!((0.5..1.5).contains(&b));
+            prop_assert!((2..=4).contains(&c));
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in prop::collection::vec(0.0f32..1.0, 1..8)) {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn combinators_compose(n in (1usize..4).prop_flat_map(|len| {
+            prop::collection::vec(0i32..10, len).prop_map(move |v| (len, v))
+        })) {
+            prop_assert_eq!(n.0, n.1.len());
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+}

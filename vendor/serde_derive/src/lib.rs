@@ -1,0 +1,431 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the tree-based `serde::Serialize` / `serde::Deserialize` traits
+//! of the vendored `serde` crate. Because the offline build environment has
+//! no `syn`/`quote`, the item is parsed directly from `proc_macro` token
+//! trees. Supported shapes — exactly what this workspace derives on:
+//!
+//! - structs with named fields (maps),
+//! - tuple structs (newtypes are transparent, wider ones are sequences),
+//! - non-generic enums with unit / newtype / tuple / struct variants,
+//!   following serde's externally-tagged representation.
+//!
+//! Generic types, `where` clauses, and `#[serde(...)]` attributes are not
+//! supported and produce a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field set: named fields or a tuple-field count.
+enum Fields {
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Tuple fields (count only).
+    Tuple(usize),
+    /// No payload.
+    Unit,
+}
+
+/// A parsed enum variant.
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+/// The parsed item this macro understands.
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Consumes attributes (`#[...]`) and visibility (`pub`, `pub(...)`) from
+/// the front of `tokens[*pos..]`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // '#' then a bracketed group.
+                *pos += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *pos += 1; // pub(crate) / pub(super)
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skips one type expression: consumes tokens until a top-level `,`,
+/// tracking `<`/`>` angle-bracket depth (generic arguments are not token
+/// groups). Leaves `pos` at the comma or at end-of-stream.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+/// Parses `{ name: Type, ... }` field lists, returning the field names.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut pos = 0usize;
+    let mut names = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        let Some(TokenTree::Ident(name)) = tokens.get(pos) else {
+            break;
+        };
+        names.push(name.to_string());
+        pos += 1; // name
+        pos += 1; // ':'
+        skip_type(&tokens, &mut pos);
+        pos += 1; // ','
+    }
+    names
+}
+
+/// Counts the fields of a `(Type, ...)` tuple list.
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut pos = 0usize;
+    let mut count = 0usize;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_type(&tokens, &mut pos);
+        pos += 1; // ','
+    }
+    count
+}
+
+/// Parses the body of an enum into its variants.
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut pos = 0usize;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        let Some(TokenTree::Ident(name)) = tokens.get(pos) else {
+            break;
+        };
+        let name = name.to_string();
+        pos += 1;
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Fields::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Fields::Tuple(count_tuple_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) and the trailing comma.
+        while let Some(tok) = tokens.get(pos) {
+            if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                pos += 1;
+                break;
+            }
+            pos += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+/// Parses the derive input item.
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0usize;
+    skip_attrs_and_vis(&tokens, &mut pos);
+    let keyword = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected `struct` or `enum`, found {other:?}"),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected item name, found {other:?}"),
+    };
+    pos += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub: generic type `{name}` is not supported");
+        }
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let variants = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => parse_variants(g),
+                other => panic!("serde_derive stub: expected enum body, found {other:?}"),
+            };
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde_derive stub: cannot derive for `{other}` items"),
+    }
+}
+
+/// Emits `("field", Serialize::to_content(&expr))` map entries.
+fn map_entries(fields: &[String], access: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), \
+                 ::serde::Serialize::to_content({access}{f})),"
+            )
+        })
+        .collect()
+}
+
+/// Emits `field: Deserialize::from_content(source.get("field")...)?,`
+/// struct-literal entries reading from the map expression `source`.
+fn field_builders(ty: &str, fields: &[String], source: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_content({source}.get(\"{f}\")\
+                 .ok_or_else(|| ::serde::DeError::new(\
+                 \"missing field `{f}` in `{ty}`\"))?)?,"
+            )
+        })
+        .collect()
+}
+
+fn derive_serialize_code(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fields) => format!(
+                    "::serde::Content::Map(::std::vec![{}])",
+                    map_entries(fields, "&self.")
+                ),
+                Fields::Tuple(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: String = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_content(&self.{i}),"))
+                        .collect();
+                    format!("::serde::Content::Seq(::std::vec![{items}])")
+                }
+                Fields::Unit => "::serde::Content::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                   fn to_content(&self) -> ::serde::Content {{ {body} }} }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vn} => \
+                             ::serde::Content::Str(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        Fields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries = map_entries(fields, "");
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Content::Map(::std::vec![\
+                                 (::std::string::String::from(\"{vn}\"), \
+                                  ::serde::Content::Map(::std::vec![{entries}]))]),"
+                            )
+                        }
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Content::Map(::std::vec![\
+                             (::std::string::String::from(\"{vn}\"), \
+                              ::serde::Serialize::to_content(f0))]),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: String = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_content({b}),"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Content::Map(::std::vec![\
+                                 (::std::string::String::from(\"{vn}\"), \
+                                  ::serde::Content::Seq(::std::vec![{items}]))]),",
+                                binds.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                   fn to_content(&self) -> ::serde::Content {{\
+                     match self {{ {arms} }} }} }}"
+            )
+        }
+    }
+}
+
+fn derive_deserialize_code(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fields) => {
+                    let builders = field_builders(name, fields, "content");
+                    format!(
+                        "match content {{\
+                           ::serde::Content::Map(_) => \
+                             ::std::result::Result::Ok({name} {{ {builders} }}),\
+                           other => ::std::result::Result::Err(\
+                             ::serde::DeError::expected(\"map for struct `{name}`\", other)),\
+                         }}"
+                    )
+                }
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(\
+                       ::serde::Deserialize::from_content(content)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let elems: String = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_content(&items[{i}])?,"))
+                        .collect();
+                    format!(
+                        "match content {{\
+                           ::serde::Content::Seq(items) if items.len() == {n} => \
+                             ::std::result::Result::Ok({name}({elems})),\
+                           other => ::std::result::Result::Err(\
+                             ::serde::DeError::expected(\
+                               \"sequence of {n} for `{name}`\", other)),\
+                         }}"
+                    )
+                }
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\
+                   fn from_content(content: &::serde::Content) \
+                     -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),")
+                })
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => None,
+                        Fields::Named(fields) => {
+                            let builders =
+                                field_builders(&format!("{name}::{vn}"), fields, "inner");
+                            Some(format!(
+                                "\"{vn}\" => ::std::result::Result::Ok(\
+                                 {name}::{vn} {{ {builders} }}),"
+                            ))
+                        }
+                        Fields::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_content(inner)?)),"
+                        )),
+                        Fields::Tuple(n) => {
+                            let elems: String = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_content(&items[{i}])?,")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => match inner {{\
+                                   ::serde::Content::Seq(items) if items.len() == {n} => \
+                                     ::std::result::Result::Ok({name}::{vn}({elems})),\
+                                   other => ::std::result::Result::Err(\
+                                     ::serde::DeError::expected(\
+                                       \"sequence of {n} for `{name}::{vn}`\", other)),\
+                                 }},"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\
+                   fn from_content(content: &::serde::Content) \
+                     -> ::std::result::Result<Self, ::serde::DeError> {{\
+                     match content {{\
+                       ::serde::Content::Str(s) => match s.as_str() {{\
+                         {unit_arms}\
+                         other => ::std::result::Result::Err(::serde::DeError::new(\
+                           ::std::format!(\"unknown unit variant `{{other}}` of `{name}`\"))),\
+                       }},\
+                       ::serde::Content::Map(entries) if entries.len() == 1 => {{\
+                         let (tag, inner) = &entries[0];\
+                         let _ = inner;\
+                         match tag.as_str() {{\
+                           {tagged_arms}\
+                           other => ::std::result::Result::Err(::serde::DeError::new(\
+                             ::std::format!(\"unknown variant `{{other}}` of `{name}`\"))),\
+                         }}\
+                       }},\
+                       other => ::std::result::Result::Err(\
+                         ::serde::DeError::expected(\"enum `{name}`\", other)),\
+                     }} }} }}"
+            )
+        }
+    }
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    derive_serialize_code(&item)
+        .parse()
+        .expect("serde_derive stub generated invalid Serialize impl")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    derive_deserialize_code(&item)
+        .parse()
+        .expect("serde_derive stub generated invalid Deserialize impl")
+}
