@@ -15,6 +15,39 @@ use crate::calib::{DAMPING_CAP_40DB, REFERENCE_SNR};
 use crate::{ktc_noise_voltage, Farads, SnrDb, Volts};
 use serde::{Deserialize, Serialize};
 
+/// Lowest SNR the damping circuit can be programmed to realize. Below 0 dB
+/// the damped node's thermal noise power would exceed the signal power and
+/// the layer computes nothing usable.
+pub const SNR_ADMISSIBLE_MIN: SnrDb = SnrDb::new(0.0);
+
+/// Highest SNR the damping circuit can be programmed to realize. 100 dB
+/// already demands a 10-nF damping capacitance (10⁶× the 10-fF reference) —
+/// the ceiling of what a column-slice layout can plausibly integrate.
+pub const SNR_ADMISSIBLE_MAX: SnrDb = SnrDb::new(100.0);
+
+/// Lower edge of the paper's Table I tunable operating band (40 dB, 10 fF).
+pub const SNR_TUNABLE_MIN: SnrDb = SnrDb::new(40.0);
+
+/// Upper edge of the paper's Table I tunable operating band (60 dB, 1 pF).
+pub const SNR_TUNABLE_MAX: SnrDb = SnrDb::new(60.0);
+
+/// Whether a programmed layer SNR is physically admissible for the damping
+/// circuit: finite and within
+/// [[`SNR_ADMISSIBLE_MIN`], [`SNR_ADMISSIBLE_MAX`]].
+pub fn snr_admissible(snr: SnrDb) -> bool {
+    snr.db().is_finite()
+        && snr.db() >= SNR_ADMISSIBLE_MIN.db()
+        && snr.db() <= SNR_ADMISSIBLE_MAX.db()
+}
+
+/// Whether a programmed layer SNR lies inside the paper's Table I tunable
+/// damping band ([[`SNR_TUNABLE_MIN`], [`SNR_TUNABLE_MAX`]]). Settings
+/// outside the band are simulatable but not backed by a characterized
+/// capacitance step.
+pub fn snr_in_tunable_band(snr: SnrDb) -> bool {
+    snr.db().is_finite() && snr.db() >= SNR_TUNABLE_MIN.db() && snr.db() <= SNR_TUNABLE_MAX.db()
+}
+
 /// A runtime noise-damping configuration: the tunable capacitance that sets a
 /// module's SNR and energy scale.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -110,5 +143,27 @@ mod tests {
         let json = serde_json::to_string(&d).unwrap();
         let back: DampingConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, d);
+    }
+
+    #[test]
+    fn admissible_band_edges() {
+        assert!(snr_admissible(SNR_ADMISSIBLE_MIN));
+        assert!(snr_admissible(SNR_ADMISSIBLE_MAX));
+        assert!(snr_admissible(SnrDb::new(40.0)));
+        assert!(!snr_admissible(SnrDb::new(-1.0)));
+        assert!(!snr_admissible(SnrDb::new(100.1)));
+        assert!(!snr_admissible(SnrDb::new(f64::NAN)));
+        assert!(!snr_admissible(SnrDb::new(f64::INFINITY)));
+    }
+
+    #[test]
+    fn tunable_band_is_table_one() {
+        assert!(snr_in_tunable_band(SNR_TUNABLE_MIN));
+        assert!(snr_in_tunable_band(SnrDb::new(50.0)));
+        assert!(snr_in_tunable_band(SNR_TUNABLE_MAX));
+        assert!(!snr_in_tunable_band(SnrDb::new(39.9)));
+        assert!(!snr_in_tunable_band(SnrDb::new(60.1)));
+        // The tunable band sits inside the admissible band.
+        assert!(snr_admissible(SNR_TUNABLE_MIN) && snr_admissible(SNR_TUNABLE_MAX));
     }
 }

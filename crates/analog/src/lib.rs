@@ -48,14 +48,17 @@ mod units;
 
 pub use comparator::{Comparator, ComparatorDecision};
 pub use corners::ProcessCorner;
-pub use damping::DampingConfig;
+pub use damping::{
+    snr_admissible, snr_in_tunable_band, DampingConfig, SNR_ADMISSIBLE_MAX, SNR_ADMISSIBLE_MIN,
+    SNR_TUNABLE_MAX, SNR_TUNABLE_MIN,
+};
 pub use error::AnalogError;
 pub use mac::{Mac, MacConfig};
 pub use noise::{cumulative_snr, ktc_noise_voltage, snr_from_powers, NoiseBudget};
 pub use opamp::OpAmp;
 pub use sample_hold::SampleHold;
-pub use sar::{SarAdc, SarConversion};
-pub use tunable_cap::TunableCap;
+pub use sar::{resolution_admissible, SarAdc, SarConversion, MAX_RESOLUTION};
+pub use tunable_cap::{max_signed_code, TunableCap, DAC_WEIGHT_BITS};
 pub use units::{Farads, Joules, Seconds, SnrDb, Volts, Watts};
 
 /// Crate-wide result alias.

@@ -16,6 +16,13 @@ use redeye_tensor::Rng;
 /// Maximum designed resolution of the array (the paper's design is 10-bit).
 pub const MAX_RESOLUTION: u32 = 10;
 
+/// Whether an ADC bit depth is admissible for the SAR array: at least one
+/// active capacitor, at most the designed [`MAX_RESOLUTION`] (MSB-cutting
+/// can only *remove* capacitors).
+pub const fn resolution_admissible(bits: u32) -> bool {
+    bits >= 1 && bits <= MAX_RESOLUTION
+}
+
 /// Result of one SAR conversion.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SarConversion {

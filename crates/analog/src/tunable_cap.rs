@@ -14,6 +14,17 @@ use crate::calib::{MISMATCH_COEFF, SUPPLY, UNIT_CAP};
 use crate::{AnalogError, Farads, Joules, Result};
 use redeye_tensor::Rng;
 
+/// Bit width of the weight DAC as fabricated (§IV-A: "8-bit tunable
+/// capacitor"). Programs must quantize kernel weights to signed fixed-point
+/// codes representable at this width.
+pub const DAC_WEIGHT_BITS: u32 = 8;
+
+/// Largest magnitude of a signed symmetric fixed-point code at `bits` width:
+/// `2^(bits−1) − 1` (e.g. ±127 for the 8-bit DAC).
+pub const fn max_signed_code(bits: u32) -> i32 {
+    (1i32 << (bits - 1)) - 1
+}
+
 /// Behavioral model of the `n`-bit charge-sharing weight DAC.
 ///
 /// The model applies a digital weight code to an analog value, with optional

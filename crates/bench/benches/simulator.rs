@@ -11,17 +11,17 @@ use redeye_tensor::{gemm, matmul_naive, Rng, Tensor, Workspace};
 /// Fig. 7 / Table I path: the analytic GoogLeNet estimator at all depths.
 fn bench_estimator(c: &mut Criterion) {
     c.bench_function("fig7_table1/estimate_all_depths", |b| {
-        b.iter(|| estimate::estimate_all_depths(&RedEyeConfig::default()).unwrap())
+        b.iter(|| estimate::estimate_all_depths(&RedEyeConfig::default()).unwrap());
     });
     c.bench_function("fig7/summarize_googlenet", |b| {
-        b.iter(|| summarize(&zoo::googlenet()).unwrap())
+        b.iter(|| summarize(&zoo::googlenet()).unwrap());
     });
 }
 
 /// Fig. 8 path: the six system scenarios (includes two Jetson model fits).
 fn bench_scenarios(c: &mut Criterion) {
     c.bench_function("fig8/six_system_scenarios", |b| {
-        b.iter(|| scenario::fig8(&RedEyeConfig::default()))
+        b.iter(|| scenario::fig8(&RedEyeConfig::default()));
     });
 }
 
@@ -39,7 +39,7 @@ fn bench_executor(c: &mut Criterion) {
             || Executor::new(program.clone(), 7),
             |mut exec| exec.execute(&input).unwrap(),
             BatchSize::SmallInput,
-        )
+        );
     });
 }
 
@@ -50,22 +50,22 @@ fn bench_circuits(c: &mut Criterion) {
     let inputs = [0.3f64; 49];
     let codes = [37i32; 49];
     c.bench_function("circuit/mac_49tap", |b| {
-        b.iter(|| mac.multiply_accumulate(&inputs, &codes, &mut rng).unwrap())
+        b.iter(|| mac.multiply_accumulate(&inputs, &codes, &mut rng).unwrap());
     });
 
     let mut adc = SarAdc::new(10).unwrap();
     c.bench_function("circuit/sar_convert_10bit", |b| {
-        b.iter(|| adc.convert(0.6172, &mut rng))
+        b.iter(|| adc.convert(0.6172, &mut rng));
     });
 
     let mut cmp = Comparator::new();
     c.bench_function("circuit/comparator_decision", |b| {
-        b.iter(|| cmp.compare(0.31, 0.29, &mut rng))
+        b.iter(|| cmp.compare(0.31, 0.29, &mut rng));
     });
 
     let tc = TunableCap::new(8).unwrap();
     c.bench_function("circuit/tunable_cap_apply", |b| {
-        b.iter(|| tc.apply(0.5, 171).unwrap())
+        b.iter(|| tc.apply(0.5, 171).unwrap());
     });
 }
 
@@ -77,14 +77,14 @@ fn bench_ablation(c: &mut Criterion) {
             (0..256u32)
                 .map(|code| tc.sampling_energy(code).value())
                 .sum::<f64>()
-        })
+        });
     });
     c.bench_function("ablation/damping_energy_law", |b| {
         b.iter(|| {
             (30..=70)
                 .map(|db| DampingConfig::from_snr(SnrDb::new(db as f64)).energy_scale())
                 .sum::<f64>()
-        })
+        });
     });
 }
 
@@ -97,10 +97,10 @@ fn bench_gemm(c: &mut Criterion) {
         let b = Tensor::uniform(&[size, size], -1.0, 1.0, &mut rng);
         let mut ws = Workspace::new();
         c.bench_function(&format!("gemm/packed_vs_naive/naive_{size}"), |bch| {
-            bch.iter(|| matmul_naive(&a, &b).unwrap())
+            bch.iter(|| matmul_naive(&a, &b).unwrap());
         });
         c.bench_function(&format!("gemm/packed_vs_naive/packed_{size}"), |bch| {
-            bch.iter(|| gemm(&mut ws, false, false, &a, &b, 1).unwrap())
+            bch.iter(|| gemm(&mut ws, false, false, &a, &b, 1).unwrap());
         });
     }
 }
@@ -120,7 +120,7 @@ fn bench_depths(c: &mut Criterion) {
                         .value()
                 })
                 .sum::<f64>()
-        })
+        });
     });
 }
 

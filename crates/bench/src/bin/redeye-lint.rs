@@ -1,0 +1,129 @@
+//! `redeye-lint` — static verification of a serialized RedEye program.
+//!
+//! Reads a JSON-serialized `Program` (as produced by serializing the
+//! compiler's output) from a file or stdin, runs every `redeye-verify` pass,
+//! and prints a rustc-style diagnostic listing.
+//!
+//! ```text
+//! $ redeye-lint program.json
+//! error[RE0201]: conv `conv1`: 3 weight code(s) outside the 8-bit DAC range ...
+//!   --> instruction #0 (`conv1`)
+//!   = note: codes are applied by the tunable-capacitor DAC and cannot be clamped
+//! `googlenet[..=pool3]`: 1 error(s), 0 warning(s), 0 note(s)
+//! ```
+//!
+//! Exit status: 0 when the program passes (warnings allowed unless
+//! `--deny-warnings`), 1 when diagnostics at the denied severity exist, 2 on
+//! usage, I/O, or parse errors.
+
+use redeye_verify::{verify_with_limits, Program, ResourceLimits};
+use std::io::Read as _;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: redeye-lint [OPTIONS] <PROGRAM.json | ->
+
+Statically verifies a JSON-serialized RedEye program (shape dataflow,
+DAC code range, noise admission, resource budgets) without executing it.
+
+options:
+  --json             emit the structured report as JSON instead of a listing
+  --deny-warnings    exit with status 1 on warnings, not only errors
+  --kernel-sram <B>  kernel (program) SRAM capacity in bytes [default: 9216]
+  --feature-sram <B> feature SRAM capacity in bytes [default: 102400]
+  --columns <N>      physical column count [default: 227]
+  -h, --help         print this help
+";
+
+struct Options {
+    path: Option<String>,
+    json: bool,
+    deny_warnings: bool,
+    limits: ResourceLimits,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        path: None,
+        json: false,
+        deny_warnings: false,
+        limits: ResourceLimits::default(),
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut numeric = |name: &str| -> Result<usize, String> {
+            iter.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse()
+                .map_err(|_| format!("{name} needs an integer value"))
+        };
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--kernel-sram" => opts.limits.kernel_sram_bytes = numeric("--kernel-sram")?,
+            "--feature-sram" => opts.limits.feature_sram_bytes = numeric("--feature-sram")?,
+            "--columns" => opts.limits.columns = numeric("--columns")?,
+            "-h" | "--help" => return Err(String::new()),
+            other if opts.path.is_none() => opts.path = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    if opts.path.is_none() {
+        return Err("missing program path (use `-` for stdin)".into());
+    }
+    Ok(opts)
+}
+
+fn read_program(path: &str) -> Result<Program, String> {
+    let text = if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("reading `{path}`: {e}"))?
+    };
+    serde_json::from_str(&text).map_err(|e| format!("parsing `{path}`: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) if msg.is_empty() => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("redeye-lint: {msg}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let program = match read_program(opts.path.as_deref().unwrap_or("-")) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("redeye-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = verify_with_limits(&program, &opts.limits);
+    if opts.json {
+        match serde_json::to_string(&report) {
+            Ok(json) => println!("{json}"),
+            Err(e) => {
+                eprintln!("redeye-lint: serializing report: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        print!("{report}");
+    }
+    let failed = report.has_errors() || (opts.deny_warnings && report.has_warnings());
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -23,7 +23,12 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) {
         }
         println!("{}", out.trim_end());
     };
-    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(
+        &headers
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect::<Vec<_>>(),
+    );
     line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
     for row in rows {
         line(row);

@@ -1,0 +1,107 @@
+//! End-to-end tests for the `redeye-lint` binary.
+
+use redeye_analog::SnrDb;
+use redeye_verify::{Instruction, Program};
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+fn program(snr: f64, code: i32) -> Program {
+    Program::new(
+        "cli-test",
+        [3, 16, 16],
+        vec![Instruction::Conv {
+            name: "conv1".into(),
+            out_c: 4,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+            relu: true,
+            codes: {
+                let mut codes = vec![1; 4 * 27];
+                codes[0] = code;
+                codes
+            },
+            scale: 1.0 / 128.0,
+            bias: vec![0.0; 4],
+            snr: SnrDb::new(snr),
+        }],
+        8,
+    )
+}
+
+/// Runs the binary with `args`, feeding `stdin`; returns (stdout, exit code).
+fn lint(args: &[&str], stdin: &str) -> (String, i32) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_redeye-lint"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn redeye-lint");
+    child
+        .stdin
+        .take()
+        .expect("stdin handle")
+        .write_all(stdin.as_bytes())
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("wait for redeye-lint");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        out.status.code().expect("exit code"),
+    )
+}
+
+#[test]
+fn clean_program_exits_zero() {
+    let json = serde_json::to_string(&program(55.0, 1)).unwrap();
+    let (stdout, status) = lint(&["-"], &json);
+    assert_eq!(status, 0, "stdout: {stdout}");
+    assert!(stdout.contains("verified clean"), "stdout: {stdout}");
+}
+
+#[test]
+fn out_of_range_code_exits_one_with_listing() {
+    let json = serde_json::to_string(&program(55.0, 999)).unwrap();
+    let (stdout, status) = lint(&["-"], &json);
+    assert_eq!(status, 1);
+    assert!(stdout.contains("error[RE0201]"), "stdout: {stdout}");
+    assert!(stdout.contains("`conv1`"), "stdout: {stdout}");
+    assert!(stdout.contains("1 error(s)"), "stdout: {stdout}");
+}
+
+#[test]
+fn deny_warnings_tightens_the_gate() {
+    // 5 dB: admissible, but outside the Table I tunable band (a warning).
+    let json = serde_json::to_string(&program(5.0, 1)).unwrap();
+    let (stdout, status) = lint(&["-"], &json);
+    assert_eq!(status, 0, "warnings alone must pass: {stdout}");
+    assert!(stdout.contains("warning[RE0302]"), "stdout: {stdout}");
+    let (_, status) = lint(&["--deny-warnings", "-"], &json);
+    assert_eq!(status, 1);
+}
+
+#[test]
+fn json_output_is_structured() {
+    let json = serde_json::to_string(&program(55.0, 999)).unwrap();
+    let (stdout, status) = lint(&["--json", "-"], &json);
+    assert_eq!(status, 1);
+    assert!(stdout.contains("\"diagnostics\""), "stdout: {stdout}");
+    assert!(stdout.contains("RE0201"), "stdout: {stdout}");
+}
+
+#[test]
+fn limit_overrides_are_applied() {
+    // A 16-pixel-wide input fails against a 8-column array.
+    let json = serde_json::to_string(&program(55.0, 1)).unwrap();
+    let (stdout, status) = lint(&["--columns", "8", "-"], &json);
+    assert_eq!(status, 1);
+    assert!(stdout.contains("error[RE0106]"), "stdout: {stdout}");
+}
+
+#[test]
+fn unreadable_input_exits_two() {
+    let (_, status) = lint(&["/nonexistent/program.json"], "");
+    assert_eq!(status, 2);
+    let (_, status) = lint(&["-"], "this is not json");
+    assert_eq!(status, 2);
+}

@@ -6,7 +6,7 @@
 //! and emits the [`Program`] the controller loads from the program SRAM.
 
 use crate::{CoreError, Instruction, Program, Result};
-use redeye_analog::SnrDb;
+use redeye_analog::{max_signed_code, SnrDb, DAC_WEIGHT_BITS};
 use redeye_nn::{quantize_symmetric, LayerSpec, Network, NetworkSpec};
 use redeye_tensor::Tensor;
 
@@ -68,6 +68,19 @@ impl WeightBank {
     }
 }
 
+/// What the compiler does with the static verification report of its own
+/// output (see the `redeye-verify` crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VerifyPolicy {
+    /// Do not verify the compiled program.
+    Skip,
+    /// Fail compilation if verification reports errors (the default).
+    #[default]
+    DenyErrors,
+    /// Fail compilation if verification reports errors *or* warnings.
+    DenyWarnings,
+}
+
 /// Compiler settings.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CompileOptions {
@@ -77,6 +90,8 @@ pub struct CompileOptions {
     pub snr: SnrDb,
     /// ADC resolution of the final quantization module.
     pub adc_bits: u32,
+    /// Verification policy applied to the compiled program.
+    pub verify: VerifyPolicy,
 }
 
 impl Default for CompileOptions {
@@ -85,6 +100,7 @@ impl Default for CompileOptions {
             weight_bits: 8,
             snr: SnrDb::new(40.0),
             adc_bits: 4,
+            verify: VerifyPolicy::default(),
         }
     }
 }
@@ -120,6 +136,17 @@ fn compile_layer(
             let patch = shape[0] * kernel * kernel;
             let (w, b) = bank.take(name, *out_c, patch)?;
             let q = quantize_symmetric(w.as_slice(), opts.weight_bits);
+            // The DAC applies codes directly through its capacitor bank, so a
+            // code the 8-bit bank cannot express is rejected, never clamped
+            // (clamping would silently distort the kernel).
+            let limit = max_signed_code(DAC_WEIGHT_BITS);
+            if let Some(&code) = q.codes.iter().find(|c| c.abs() > limit) {
+                return Err(CoreError::CodeOutOfRange {
+                    layer: name.clone(),
+                    code,
+                    bits: DAC_WEIGHT_BITS,
+                });
+            }
             let next = shape_after(layer, *shape)?;
             let inst = Instruction::Conv {
                 name: name.clone(),
@@ -221,23 +248,47 @@ fn compile_layer(
 /// - [`CoreError::NotAnalogExecutable`] if the prefix contains a host-only
 ///   layer;
 /// - [`CoreError::WeightMismatch`] if the bank's parameters do not line up
-///   with the spec.
+///   with the spec;
+/// - [`CoreError::CodeOutOfRange`] if a quantized kernel code cannot be
+///   expressed by the 8-bit weight DAC;
+/// - [`CoreError::Verify`] if the compiled program fails static
+///   verification under [`CompileOptions::verify`].
 pub fn compile(
     prefix: &NetworkSpec,
     bank: &mut WeightBank,
     opts: &CompileOptions,
 ) -> Result<Program> {
+    if !(2..=31).contains(&opts.weight_bits) {
+        return Err(CoreError::BadProgram {
+            reason: format!(
+                "weight DAC resolution {} bits is not representable (supported: 2..=31)",
+                opts.weight_bits
+            ),
+        });
+    }
     let mut shape = prefix.input;
     let mut instructions = Vec::with_capacity(prefix.layers.len());
     for layer in &prefix.layers {
         instructions.push(compile_layer(layer, &mut shape, bank, opts)?);
     }
-    Ok(Program::new(
+    let program = Program::new(
         prefix.name.clone(),
         prefix.input,
         instructions,
         opts.adc_bits,
-    ))
+    );
+    let deny = match opts.verify {
+        VerifyPolicy::Skip => None,
+        VerifyPolicy::DenyErrors => Some(false),
+        VerifyPolicy::DenyWarnings => Some(true),
+    };
+    if let Some(deny_warnings) = deny {
+        let report = redeye_verify::verify(&program);
+        if report.has_errors() || (deny_warnings && report.has_warnings()) {
+            return Err(CoreError::Verify(report));
+        }
+    }
+    Ok(program)
 }
 
 #[cfg(test)]
@@ -307,6 +358,82 @@ mod tests {
         };
         let err = compile(&prefix, &mut bank, &CompileOptions::default()).unwrap_err();
         assert!(matches!(err, CoreError::WeightMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_codes_beyond_the_dac_range() {
+        // Quantizing at 10 bits produces codes up to ±511, which the 8-bit
+        // tunable-capacitor DAC cannot realize: compilation must fail rather
+        // than clamp the kernel.
+        let spec = zoo::micronet(8, 10);
+        let prefix = spec.prefix_through("pool3").unwrap();
+        let mut rng = Rng::seed_from(1);
+        let mut net = build_network(&spec, WeightInit::HeNormal, &mut rng).unwrap();
+        let mut bank = WeightBank::from_network(&mut net);
+        let opts = CompileOptions {
+            weight_bits: 10,
+            ..CompileOptions::default()
+        };
+        let err = compile(&prefix, &mut bank, &opts).unwrap_err();
+        match &err {
+            CoreError::CodeOutOfRange { layer, code, bits } => {
+                assert_eq!(layer, "conv1");
+                assert_eq!(*bits, 8);
+                assert!(code.abs() > 127, "code {code} should exceed the DAC limit");
+            }
+            other => panic!("expected CodeOutOfRange, got {other:?}"),
+        }
+        assert!(
+            err.to_string()
+                .contains("outside the 8-bit DAC range [-127, 127]"),
+            "got: {err}"
+        );
+    }
+
+    #[test]
+    fn rejects_unrepresentable_weight_resolution() {
+        let spec = zoo::micronet(8, 10);
+        let prefix = spec.prefix_through("pool3").unwrap();
+        let mut bank = WeightBank {
+            params: Vec::new(),
+            cursor: 0,
+        };
+        for bad in [0, 1, 32] {
+            let opts = CompileOptions {
+                weight_bits: bad,
+                ..CompileOptions::default()
+            };
+            let err = compile(&prefix, &mut bank, &opts).unwrap_err();
+            assert!(matches!(err, CoreError::BadProgram { .. }), "bits={bad}");
+        }
+    }
+
+    #[test]
+    fn verify_policy_gates_warnings() {
+        // 5 dB is admissible (no error) but outside the Table I tunable
+        // band, so it compiles under DenyErrors and fails under
+        // DenyWarnings.
+        let spec = zoo::micronet(8, 10);
+        let prefix = spec.prefix_through("pool3").unwrap();
+        let mut rng = Rng::seed_from(9);
+        let mut net = build_network(&spec, WeightInit::HeNormal, &mut rng).unwrap();
+        let mut bank = WeightBank::from_network(&mut net);
+        let opts = CompileOptions {
+            snr: SnrDb::new(5.0),
+            ..CompileOptions::default()
+        };
+        let program = compile(&prefix, &mut bank.clone(), &opts).unwrap();
+        assert!(redeye_verify::verify(&program).has_warnings());
+
+        let strict = CompileOptions {
+            verify: VerifyPolicy::DenyWarnings,
+            ..opts
+        };
+        let err = compile(&prefix, &mut bank, &strict).unwrap_err();
+        match err {
+            CoreError::Verify(report) => assert!(report.has_warnings()),
+            other => panic!("expected Verify, got {other:?}"),
+        }
     }
 
     #[test]

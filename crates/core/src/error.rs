@@ -29,6 +29,21 @@ pub enum CoreError {
         /// Bytes available.
         capacity: usize,
     },
+    /// A quantized weight code falls outside the tunable-capacitor DAC's
+    /// signed fixed-point range (§IV-A). Codes are applied directly by the
+    /// capacitor bank, so an out-of-range code has no hardware realization.
+    CodeOutOfRange {
+        /// Layer whose kernel produced the code.
+        layer: String,
+        /// The offending code.
+        code: i32,
+        /// DAC resolution in bits.
+        bits: u32,
+    },
+    /// Static verification of the compiled program found errors (or, under
+    /// [`crate::VerifyPolicy::DenyWarnings`], warnings). The full report is
+    /// attached.
+    Verify(redeye_verify::Report),
     /// Compilation ran out of weights, or found weights of the wrong shape.
     WeightMismatch {
         /// Layer being compiled.
@@ -60,6 +75,23 @@ impl fmt::Display for CoreError {
                 f,
                 "{which} SRAM overflow: need {required} B, have {capacity} B"
             ),
+            CoreError::CodeOutOfRange { layer, code, bits } => {
+                let limit = (1i32 << (bits - 1)) - 1;
+                write!(
+                    f,
+                    "weight code {code} at `{layer}` is outside the {bits}-bit DAC range \
+                     [-{limit}, {limit}]"
+                )
+            }
+            CoreError::Verify(report) => {
+                write!(
+                    f,
+                    "program `{}` failed verification: {} error(s), {} warning(s)",
+                    report.program,
+                    report.count(redeye_verify::Severity::Error),
+                    report.count(redeye_verify::Severity::Warning)
+                )
+            }
             CoreError::WeightMismatch { layer, reason } => {
                 write!(f, "weight mismatch at `{layer}`: {reason}")
             }
@@ -110,6 +142,19 @@ mod tests {
         };
         assert!(e.to_string().contains("feature"));
         assert!(e.to_string().contains("200000"));
+    }
+
+    #[test]
+    fn code_out_of_range_names_the_dac_envelope() {
+        let e = CoreError::CodeOutOfRange {
+            layer: "conv1".into(),
+            code: 999,
+            bits: 8,
+        };
+        assert_eq!(
+            e.to_string(),
+            "weight code 999 at `conv1` is outside the 8-bit DAC range [-127, 127]"
+        );
     }
 
     #[test]

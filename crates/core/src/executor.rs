@@ -78,6 +78,9 @@ pub struct Executor {
     ws: Workspace,
     /// GEMM thread budget for conv instructions (see [`Executor::set_threads`]).
     threads: usize,
+    /// Whether the loaded program has passed static verification; checked
+    /// lazily on the first frame so construction stays infallible.
+    verified: bool,
 }
 
 impl Executor {
@@ -92,6 +95,7 @@ impl Executor {
             columns,
             ws: Workspace::new(),
             threads: 1,
+            verified: false,
         }
     }
 
@@ -111,9 +115,18 @@ impl Executor {
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::BadProgram`] if the input shape does not match
-    /// the program, or wraps shape errors from a corrupt program.
+    /// Returns [`CoreError::Verify`] if the program fails static
+    /// verification (checked once, on the first frame), or
+    /// [`CoreError::BadProgram`] if the input shape does not match the
+    /// program or a shape error surfaces from a corrupt program.
     pub fn execute(&mut self, input: &Tensor) -> Result<ExecutionResult> {
+        if !self.verified {
+            let report = redeye_verify::verify(&self.program);
+            if report.has_errors() {
+                return Err(CoreError::Verify(report));
+            }
+            self.verified = true;
+        }
         if input.dims() != self.program.input {
             return Err(CoreError::BadProgram {
                 reason: format!(
@@ -516,6 +529,7 @@ mod tests {
             weight_bits: 8,
             snr: SnrDb::new(snr_db),
             adc_bits,
+            ..CompileOptions::default()
         };
         let program = compile(&prefix, &mut bank, &opts).unwrap();
         // Quantize the reference identically so both paths share weights.
@@ -579,6 +593,20 @@ mod tests {
         let input = Tensor::full(&[3, 32, 32], 0.5);
         let result = exec.execute(&input).unwrap();
         assert!(result.codes.iter().all(|&c| c < 8));
+    }
+
+    #[test]
+    fn refuses_to_execute_unverifiable_program() {
+        let (mut program, _) = micronet_program(40.0, 4);
+        if let Instruction::Conv { codes, .. } = &mut program.instructions[0] {
+            codes[0] = 10_000; // beyond the 8-bit DAC range
+        }
+        let mut exec = Executor::new(program, 1);
+        let err = exec.execute(&Tensor::full(&[3, 32, 32], 0.5)).unwrap_err();
+        match err {
+            CoreError::Verify(report) => assert!(report.has_errors()),
+            other => panic!("expected Verify, got {other:?}"),
+        }
     }
 
     #[test]

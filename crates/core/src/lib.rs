@@ -24,6 +24,12 @@
 //! - [`Depth`] — the five GoogLeNet partition points of Fig. 6.
 //! - [`area`] — the §V-D silicon area model (column slices, SRAM, die).
 //!
+//! Programs are checked statically by the `redeye-verify` crate before they
+//! run: [`compile()`](compile()) verifies its output (policy set by
+//! [`CompileOptions::verify`]) and [`Executor`] refuses to execute a program
+//! with verification errors. The IR itself ([`Program`], [`Instruction`])
+//! lives in `redeye-verify` and is re-exported here unchanged.
+//!
 //! # Example
 //!
 //! ```
@@ -45,19 +51,21 @@ mod error;
 pub mod estimate;
 mod executor;
 mod partition;
-mod program;
 pub mod rowsim;
 mod sram;
 pub mod stacking;
 pub mod topology;
 
-pub use compile::{compile, CompileOptions, WeightBank};
+pub use compile::{compile, CompileOptions, VerifyPolicy, WeightBank};
 pub use energy::EnergyLedger;
 pub use error::CoreError;
 pub use estimate::{EnergyBreakdown, Estimate, NoisePlan, RedEyeConfig, TimingBreakdown};
 pub use executor::{ExecutionResult, Executor};
 pub use partition::{partition_googlenet, Depth};
-pub use program::{Instruction, Program};
+pub use redeye_verify::{
+    verify, verify_with_limits, DiagClass, Diagnostic, Instruction, Program, Report,
+    ResourceLimits, Severity,
+};
 pub use sram::{FeatureSram, ProgramSram, FEATURE_SRAM_BYTES, KERNEL_SRAM_BYTES, TOTAL_SRAM_BYTES};
 
 /// Crate-wide result alias.

@@ -28,6 +28,12 @@ impl ProgramSram {
         }
     }
 
+    /// Creates a kernel store with an explicit capacity (design-space
+    /// exploration away from the paper's 9 kB).
+    pub fn with_capacity(capacity: usize) -> Self {
+        ProgramSram { capacity }
+    }
+
     /// Capacity in bytes.
     pub fn capacity(&self) -> usize {
         self.capacity
@@ -73,6 +79,11 @@ impl FeatureSram {
         }
     }
 
+    /// Creates a feature store with an explicit capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        FeatureSram { capacity }
+    }
+
     /// Capacity in bytes.
     pub fn capacity(&self) -> usize {
         self.capacity
@@ -110,6 +121,7 @@ impl Default for FeatureSram {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Instruction;
 
     #[test]
     fn budgets_fit_total() {
@@ -130,5 +142,59 @@ mod tests {
     fn odd_bit_counts_round_up() {
         assert_eq!(FeatureSram::bytes_needed(3, 3), 2);
         assert_eq!(FeatureSram::bytes_needed(0, 4), 0);
+    }
+
+    #[test]
+    fn program_sram_accounts_working_set_round_trip() {
+        use redeye_analog::SnrDb;
+        // 4 output channels of 27-code patches: working set is one channel
+        // double-buffered = 54 B.
+        let conv = Instruction::Conv {
+            name: "c".into(),
+            out_c: 4,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+            relu: true,
+            codes: vec![0; 4 * 27],
+            scale: 1.0,
+            bias: vec![0.0; 4],
+            snr: SnrDb::new(40.0),
+        };
+        let p = Program::new("t", [3, 8, 8], vec![conv], 4);
+        assert_eq!(p.kernel_working_set_bytes(), 54);
+        // Exactly-fitting capacity round-trips the requirement...
+        let sram = ProgramSram::with_capacity(54);
+        assert_eq!(sram.capacity(), 54);
+        assert_eq!(sram.check(&p).unwrap(), 54);
+        // ...and one byte less is rejected with the exact accounting.
+        let err = ProgramSram::with_capacity(53).check(&p).unwrap_err();
+        match err {
+            CoreError::SramOverflow {
+                which,
+                required,
+                capacity,
+            } => {
+                assert_eq!(which, "program");
+                assert_eq!(required, 54);
+                assert_eq!(capacity, 53);
+            }
+            other => panic!("expected SramOverflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn feature_sram_capacity_is_respected() {
+        let sram = FeatureSram::with_capacity(100);
+        // 200 values at 4 bits = 100 B: fits exactly.
+        assert_eq!(sram.check(200, 4).unwrap(), 100);
+        // One more value tips it over.
+        assert!(matches!(
+            sram.check(201, 4),
+            Err(CoreError::SramOverflow {
+                which: "feature",
+                ..
+            })
+        ));
     }
 }

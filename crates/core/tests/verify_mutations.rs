@@ -1,0 +1,143 @@
+//! Mutation-based tests of the static verifier: every program the compiler
+//! emits from the model zoo verifies without errors, and seeded corruptions
+//! of a correct program are each caught by the pass responsible for them.
+
+use proptest::prelude::*;
+use redeye_analog::SnrDb;
+use redeye_core::{
+    compile, verify, CompileOptions, DiagClass, Instruction, Program, Severity, WeightBank,
+};
+use redeye_nn::{build_network, zoo, WeightInit};
+use redeye_tensor::Rng;
+
+fn compiled(spec: &redeye_nn::NetworkSpec, cut: &str, seed: u64, opts: &CompileOptions) -> Program {
+    let prefix = spec.prefix_through(cut).expect("cut exists");
+    let mut rng = Rng::seed_from(seed);
+    let mut net = build_network(&prefix, WeightInit::HeNormal, &mut rng).expect("builds");
+    let mut bank = WeightBank::from_network(&mut net);
+    compile(&prefix, &mut bank, opts).expect("compiles")
+}
+
+/// The first conv of the program, however deep, for mutation targets.
+fn first_conv(instructions: &mut [Instruction]) -> &mut Instruction {
+    let idx = instructions
+        .iter()
+        .position(|i| matches!(i, Instruction::Conv { .. }))
+        .expect("program contains a conv");
+    &mut instructions[idx]
+}
+
+proptest! {
+    /// Whatever the compiler emits — any zoo cut, any in-band SNR, any
+    /// admissible ADC depth — passes verification with zero errors.
+    #[test]
+    fn compiled_zoo_programs_verify_without_errors(
+        seed in 0u64..32,
+        snr in 40.0f64..60.0,
+        adc_bits in 1u32..10,
+        pick in 0usize..4,
+    ) {
+        let opts = CompileOptions {
+            snr: SnrDb::new(snr),
+            adc_bits,
+            ..CompileOptions::default()
+        };
+        let (spec, cut) = match pick {
+            0 => (zoo::micronet(8, 10), "pool1"),
+            1 => (zoo::micronet(8, 10), "pool3"),
+            2 => (zoo::tiny_inception(10), "pool2"),
+            _ => (zoo::tiny_inception(10), "inception_a"),
+        };
+        let program = compiled(&spec, cut, seed, &opts);
+        let report = verify(&program);
+        prop_assert!(!report.has_errors(), "unexpected errors:\n{}", report.render());
+    }
+
+    /// Mutation: a kernel too large for its input breaks the shape chain.
+    #[test]
+    fn mutation_shape_break_is_caught(seed in 0u64..16, kernel in 40usize..96) {
+        let mut program = compiled(
+            &zoo::micronet(8, 10), "pool3", seed, &CompileOptions::default(),
+        );
+        if let Instruction::Conv { kernel: k, pad, .. } = first_conv(&mut program.instructions) {
+            *k = kernel; // codes no longer match either, but the shape cut dominates
+            *pad = 0;
+        }
+        let report = verify(&program);
+        prop_assert!(report.has_errors());
+        prop_assert!(
+            report.classes_at(Severity::Error).contains(&DiagClass::ShapeDataflow),
+            "expected a shape-dataflow error:\n{}", report.render()
+        );
+    }
+
+    /// Mutation: a weight code beyond ±127 cannot reach the DAC.
+    #[test]
+    fn mutation_out_of_range_code_is_caught(seed in 0u64..16, code in 128i32..100_000) {
+        let mut program = compiled(
+            &zoo::micronet(8, 10), "pool3", seed, &CompileOptions::default(),
+        );
+        if let Instruction::Conv { codes, .. } = first_conv(&mut program.instructions) {
+            codes[0] = code;
+        }
+        let report = verify(&program);
+        prop_assert!(
+            report.classes_at(Severity::Error).contains(&DiagClass::CodeRange),
+            "expected a code-range error:\n{}", report.render()
+        );
+    }
+
+    /// Mutation: an SNR outside the damping circuit's admissible band (or
+    /// not a number at all) is rejected.
+    #[test]
+    fn mutation_inadmissible_snr_is_caught(seed in 0u64..16, excess in 1.0f64..1e6) {
+        let mut program = compiled(
+            &zoo::micronet(8, 10), "pool3", seed, &CompileOptions::default(),
+        );
+        if let Instruction::Conv { snr, .. } = first_conv(&mut program.instructions) {
+            *snr = SnrDb::new(100.0 + excess);
+        }
+        let report = verify(&program);
+        prop_assert!(
+            report.classes_at(Severity::Error).contains(&DiagClass::NoiseAdmission),
+            "expected a noise-admission error:\n{}", report.render()
+        );
+    }
+
+    /// Mutation: inflating a conv's channel count past the kernel SRAM
+    /// budget trips the resource pass.
+    #[test]
+    fn mutation_kernel_sram_overflow_is_caught(seed in 0u64..16, factor in 64usize..200) {
+        let mut program = compiled(
+            &zoo::micronet(8, 10), "pool3", seed, &CompileOptions::default(),
+        );
+        if let Instruction::Conv { codes, .. } = first_conv(&mut program.instructions) {
+            // Grow the per-channel patch until the double-buffered working
+            // set exceeds 9 kB (out_c stays, so patch = len/out_c grows).
+            let grown = codes.len() * factor;
+            codes.resize(grown, 1);
+        }
+        let report = verify(&program);
+        prop_assert!(
+            report.classes_at(Severity::Error).contains(&DiagClass::ResourceBudget),
+            "expected a resource-budget error:\n{}", report.render()
+        );
+    }
+
+    /// Mutation: duplicating a layer name breaks name-addressed tooling.
+    #[test]
+    fn mutation_duplicate_name_is_caught(seed in 0u64..16) {
+        let mut program = compiled(
+            &zoo::micronet(8, 10), "pool3", seed, &CompileOptions::default(),
+        );
+        let first = program.instructions[0].name().to_string();
+        if let Instruction::MaxPool { name, .. } = &mut program.instructions[1] {
+            *name = first;
+        }
+        let report = verify(&program);
+        prop_assert!(
+            report.classes_at(Severity::Error).contains(&DiagClass::ResourceBudget),
+            "expected a duplicate-name error:\n{}", report.render()
+        );
+    }
+}

@@ -1,0 +1,199 @@
+//! Pass 5 (optional) — spec conformance.
+//!
+//! When the network spec a program claims to implement is available, this
+//! pass checks the program against it instruction-by-instruction: same
+//! input geometry, same layer count and order, same names, and same layer
+//! parameters. It catches compiler bugs and hand-edited programs drifting
+//! from their source network.
+
+use crate::diag::{DiagClass, Diagnostic, Report, Severity};
+use crate::{Instruction, Program};
+use redeye_nn::{LayerSpec, NetworkSpec};
+
+fn err(code: &'static str, message: String) -> Diagnostic {
+    Diagnostic::new(Severity::Error, DiagClass::SpecConformance, code, message)
+}
+
+pub(crate) fn run(program: &Program, spec: &NetworkSpec, report: &mut Report) {
+    if program.input != spec.input {
+        report.push(err(
+            "RE0504",
+            format!(
+                "program input {:?} does not match spec `{}` input {:?}",
+                program.input, spec.name, spec.input
+            ),
+        ));
+    }
+    check_chain(&program.instructions, &spec.layers, &[], report);
+}
+
+fn check_chain(insts: &[Instruction], layers: &[LayerSpec], prefix: &[usize], report: &mut Report) {
+    if insts.len() != layers.len() {
+        report.push(
+            err(
+                "RE0501",
+                format!(
+                    "program has {} instruction(s) where the spec has {} layer(s)",
+                    insts.len(),
+                    layers.len()
+                ),
+            )
+            .at_path(prefix),
+        );
+    }
+    for (i, (inst, layer)) in insts.iter().zip(layers.iter()).enumerate() {
+        let mut path = prefix.to_vec();
+        path.push(i);
+        if inst.name() != layer.name() {
+            report.push(
+                err(
+                    "RE0502",
+                    format!(
+                        "instruction `{}` does not match spec layer `{}` at this position",
+                        inst.name(),
+                        layer.name()
+                    ),
+                )
+                .at_layer(inst.name())
+                .at_path(&path),
+            );
+            continue;
+        }
+        check_pair(inst, layer, &path, report);
+    }
+}
+
+/// Compares one instruction against the spec layer of the same position.
+fn check_pair(inst: &Instruction, layer: &LayerSpec, path: &[usize], report: &mut Report) {
+    let mismatch = |report: &mut Report, detail: String| {
+        report.push(
+            err(
+                "RE0503",
+                format!(
+                    "instruction `{}` diverges from its spec layer: {detail}",
+                    inst.name()
+                ),
+            )
+            .at_layer(inst.name())
+            .at_path(path),
+        );
+    };
+    match (inst, layer) {
+        (
+            Instruction::Conv {
+                out_c,
+                kernel,
+                stride,
+                pad,
+                relu,
+                ..
+            },
+            LayerSpec::Conv {
+                out_c: s_out_c,
+                kernel: s_kernel,
+                stride: s_stride,
+                pad: s_pad,
+                relu: s_relu,
+                ..
+            },
+        ) => {
+            if (out_c, kernel, stride, pad, relu) != (s_out_c, s_kernel, s_stride, s_pad, s_relu) {
+                mismatch(
+                    report,
+                    format!(
+                        "conv {out_c}c k{kernel} s{stride} p{pad} relu={relu} vs spec \
+                         {s_out_c}c k{s_kernel} s{s_stride} p{s_pad} relu={s_relu}"
+                    ),
+                );
+            }
+        }
+        (
+            Instruction::MaxPool {
+                window,
+                stride,
+                pad,
+                ..
+            },
+            LayerSpec::MaxPool {
+                window: s_window,
+                stride: s_stride,
+                pad: s_pad,
+                ..
+            },
+        )
+        | (
+            Instruction::AvgPool {
+                window,
+                stride,
+                pad,
+                ..
+            },
+            LayerSpec::AvgPool {
+                window: s_window,
+                stride: s_stride,
+                pad: s_pad,
+                ..
+            },
+        ) => {
+            if (window, stride, pad) != (s_window, s_stride, s_pad) {
+                mismatch(
+                    report,
+                    format!(
+                        "pool w{window} s{stride} p{pad} vs spec w{s_window} s{s_stride} p{s_pad}"
+                    ),
+                );
+            }
+        }
+        (
+            Instruction::Lrn {
+                size,
+                alpha,
+                beta,
+                k,
+                ..
+            },
+            LayerSpec::Lrn {
+                size: s_size,
+                alpha: s_alpha,
+                beta: s_beta,
+                k: s_k,
+                ..
+            },
+        ) => {
+            if size != s_size || alpha != s_alpha || beta != s_beta || k != s_k {
+                mismatch(report, "LRN parameters differ".into());
+            }
+        }
+        (
+            Instruction::Inception { branches, .. },
+            LayerSpec::Inception {
+                branches: s_branches,
+                ..
+            },
+        ) => {
+            if branches.len() != s_branches.len() {
+                mismatch(
+                    report,
+                    format!(
+                        "{} branches vs spec {} branches",
+                        branches.len(),
+                        s_branches.len()
+                    ),
+                );
+                return;
+            }
+            for (bi, (b, sb)) in branches.iter().zip(s_branches.iter()).enumerate() {
+                let mut bpath = path.to_vec();
+                bpath.push(bi);
+                check_chain(b, sb, &bpath, report);
+            }
+        }
+        _ => mismatch(
+            report,
+            format!(
+                "instruction kind does not implement spec layer `{}`",
+                layer.name()
+            ),
+        ),
+    }
+}

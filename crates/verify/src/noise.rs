@@ -1,0 +1,152 @@
+//! Pass 3 — noise-admission feasibility.
+//!
+//! Each analog layer's programmed SNR must lie inside the damping circuit's
+//! physically admissible band, and the readout bit depth must be realizable
+//! by the SAR array. Beyond hard admissibility, the pass warns about *wasted
+//! energy*: a layer whose SNR budget is tighter (higher) than what its
+//! upstream producers already limited the signal to burns damping
+//! capacitance (E ∝ 1/V̄n²) without improving output fidelity, and an ADC
+//! bit depth far finer than the chain SNR burns conversion energy (E ∝ 2ⁿ)
+//! digitizing noise.
+
+use crate::diag::{DiagClass, Diagnostic, Report, Severity};
+use crate::{Instruction, Program};
+use redeye_analog::{
+    resolution_admissible, snr_admissible, snr_in_tunable_band, SnrDb, MAX_RESOLUTION,
+    SNR_ADMISSIBLE_MAX, SNR_ADMISSIBLE_MIN, SNR_TUNABLE_MAX, SNR_TUNABLE_MIN,
+};
+
+/// Hysteresis before an SNR step-up is reported as wasted energy.
+const WASTE_MARGIN_DB: f64 = 0.5;
+
+/// Headroom before the ADC is reported as over-resolved vs. the chain SNR
+/// (12 dB ≈ two SAR bits).
+const ADC_HEADROOM_DB: f64 = 12.0;
+
+fn diag(severity: Severity, code: &'static str, message: String) -> Diagnostic {
+    Diagnostic::new(severity, DiagClass::NoiseAdmission, code, message)
+}
+
+pub(crate) fn run(program: &Program, report: &mut Report) {
+    let mut min_upstream = f64::INFINITY;
+    walk(
+        &program.instructions,
+        &mut Vec::new(),
+        &mut min_upstream,
+        report,
+    );
+
+    let bits = program.adc_bits;
+    if resolution_admissible(bits) {
+        // Ideal n-bit quantization SNR: 6.02·n + 1.76 dB.
+        let quant_snr = 6.02 * f64::from(bits) + 1.76;
+        if min_upstream.is_finite() && quant_snr > min_upstream + ADC_HEADROOM_DB {
+            report.push(diag(
+                Severity::Warning,
+                "RE0305",
+                format!(
+                    "{bits}-bit readout quantizes at ≈{quant_snr:.1} dB but the analog chain is \
+                     already limited to ≈{min_upstream:.1} dB; conversion energy (E ∝ 2^n) is \
+                     spent digitizing noise"
+                ),
+            ));
+        }
+    } else {
+        report.push(diag(
+            Severity::Error,
+            "RE0304",
+            format!(
+                "ADC bit depth {bits} outside the SAR array's 1..={MAX_RESOLUTION} range \
+                 (MSB-cutting can only remove capacitors)"
+            ),
+        ));
+    }
+}
+
+fn walk(insts: &[Instruction], path: &mut Vec<usize>, min_upstream: &mut f64, report: &mut Report) {
+    for (i, inst) in insts.iter().enumerate() {
+        path.push(i);
+        match inst {
+            Instruction::Conv { name, snr, .. }
+            | Instruction::AvgPool { name, snr, .. }
+            | Instruction::Lrn { name, snr, .. } => {
+                check_layer(name, *snr, path, min_upstream, report);
+            }
+            Instruction::MaxPool { .. } => {}
+            Instruction::Inception { branches, .. } => {
+                let base = *min_upstream;
+                let mut merged = f64::INFINITY;
+                for (bi, branch) in branches.iter().enumerate() {
+                    let mut branch_min = base;
+                    path.push(bi);
+                    walk(branch, path, &mut branch_min, report);
+                    path.pop();
+                    merged = merged.min(branch_min);
+                }
+                if merged.is_finite() {
+                    *min_upstream = merged;
+                }
+            }
+        }
+        path.pop();
+    }
+}
+
+fn check_layer(
+    name: &str,
+    snr: SnrDb,
+    path: &[usize],
+    min_upstream: &mut f64,
+    report: &mut Report,
+) {
+    if !snr_admissible(snr) {
+        report.push(
+            diag(
+                Severity::Error,
+                "RE0301",
+                format!(
+                    "layer `{name}` programs {snr} outside the damping circuit's admissible \
+                     [{}, {}] band",
+                    SNR_ADMISSIBLE_MIN, SNR_ADMISSIBLE_MAX
+                ),
+            )
+            .at_layer(name)
+            .at_path(path),
+        );
+        return;
+    }
+    if !snr_in_tunable_band(snr) {
+        report.push(
+            diag(
+                Severity::Warning,
+                "RE0302",
+                format!(
+                    "layer `{name}` programs {snr} outside the Table I tunable damping band \
+                     [{}, {}]",
+                    SNR_TUNABLE_MIN, SNR_TUNABLE_MAX
+                ),
+            )
+            .at_layer(name)
+            .at_path(path),
+        );
+    }
+    if snr.db() > *min_upstream + WASTE_MARGIN_DB {
+        report.push(
+            diag(
+                Severity::Warning,
+                "RE0303",
+                format!(
+                    "layer `{name}` runs at {snr} but an upstream producer already limits the \
+                     signal to ≈{min_upstream:.1} dB",
+                ),
+            )
+            .at_layer(name)
+            .at_path(path)
+            .with_note(
+                "the looser upstream budget caps end-to-end fidelity; the extra damping \
+                 capacitance here burns energy (E ∝ 1/V̄n²) without buying accuracy",
+            ),
+        );
+    }
+    *min_upstream = min_upstream.min(snr.db());
+}

@@ -1,0 +1,148 @@
+//! Pass 4 — resource budget.
+//!
+//! The program's streaming kernel working set must fit the kernel SRAM, the
+//! readout payload must fit the feature SRAM, layer names must be unique
+//! (partition cuts, traces, and noise plans address layers by name), and
+//! structurally dead instructions are reported.
+
+use crate::diag::{DiagClass, Diagnostic, Report, Severity};
+use crate::limits::ResourceLimits;
+use crate::shape::Site;
+use crate::{Instruction, Program};
+use redeye_analog::resolution_admissible;
+use std::collections::BTreeMap;
+
+fn diag(severity: Severity, code: &'static str, message: String) -> Diagnostic {
+    Diagnostic::new(severity, DiagClass::ResourceBudget, code, message)
+}
+
+pub(crate) fn run(
+    program: &Program,
+    sites: &[Site<'_>],
+    final_shape: Option<[usize; 3]>,
+    limits: &ResourceLimits,
+    report: &mut Report,
+) {
+    let working_set = program.kernel_working_set_bytes();
+    if working_set > limits.kernel_sram_bytes {
+        report.push(
+            diag(
+                Severity::Error,
+                "RE0401",
+                format!(
+                    "kernel working set {working_set} B over-runs the {} B program SRAM",
+                    limits.kernel_sram_bytes
+                ),
+            )
+            .with_note(format!(
+                "the working set is the double-buffered per-channel residency while streaming; \
+                 the whole program stores {} B of codes",
+                program.kernel_bytes()
+            )),
+        );
+    }
+
+    if let Some([c, h, w]) = final_shape {
+        if resolution_admissible(program.adc_bits) {
+            let values = (c * h * w) as u64;
+            let needed = ResourceLimits::feature_bytes_needed(values, program.adc_bits);
+            if needed > limits.feature_sram_bytes {
+                report.push(
+                    diag(
+                        Severity::Warning,
+                        "RE0402",
+                        format!(
+                            "readout payload {needed} B ({values} features at {} bits) over-runs \
+                             the {} B feature SRAM if buffered whole-frame",
+                            program.adc_bits, limits.feature_sram_bytes
+                        ),
+                    )
+                    .with_note(
+                        "the host must drain features during readout; to buffer a full frame, \
+                         cut deeper, pool harder, or lower the ADC depth",
+                    ),
+                );
+            }
+        }
+    }
+
+    let mut seen: BTreeMap<&str, &[usize]> = BTreeMap::new();
+    for site in sites {
+        let name = site.inst.name();
+        if let Some(first) = seen.get(name) {
+            let first_path: Vec<String> = first.iter().map(ToString::to_string).collect();
+            report.push(
+                diag(
+                    Severity::Error,
+                    "RE0403",
+                    format!(
+                        "duplicate layer name `{name}` (first used at instruction #{})",
+                        first_path.join(".")
+                    ),
+                )
+                .at_layer(name)
+                .at_path(&site.path)
+                .with_note(
+                    "partition cuts, execution traces, and noise plans address layers by name",
+                ),
+            );
+        } else {
+            seen.insert(name, &site.path);
+        }
+    }
+
+    for site in sites {
+        match site.inst {
+            Instruction::MaxPool {
+                name,
+                window: 1,
+                stride: 1,
+                ..
+            }
+            | Instruction::AvgPool {
+                name,
+                window: 1,
+                stride: 1,
+                ..
+            } => {
+                report.push(
+                    diag(
+                        Severity::Warning,
+                        "RE0404",
+                        format!("pool `{name}` is dead: a 1x1 window at stride 1 is the identity"),
+                    )
+                    .at_layer(name)
+                    .at_path(&site.path)
+                    .with_note("the pass still charges buffer writes; drop it from the program"),
+                );
+            }
+            Instruction::Inception { name, branches } => {
+                for (bi, branch) in branches.iter().enumerate() {
+                    if branch.is_empty() {
+                        report.push(
+                            diag(
+                                Severity::Warning,
+                                "RE0404",
+                                format!(
+                                    "inception `{name}` branch {bi} is empty (identity \
+                                     passthrough of the stored input)"
+                                ),
+                            )
+                            .at_layer(name)
+                            .at_path(&site.path),
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    if program.instructions.is_empty() {
+        report.push(diag(
+            Severity::Note,
+            "RE0405",
+            "capture-only program: no analog instructions run before the readout".into(),
+        ));
+    }
+}

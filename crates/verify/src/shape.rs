@@ -1,0 +1,281 @@
+//! Pass 1 — shape dataflow.
+//!
+//! Symbolically propagates the `(C, H, W)` activation shape through every
+//! instruction, mirroring the executor's geometry exactly (floor rounding
+//! for convolutions, Caffe ceil rounding for pools). Non-chaining
+//! dimensions, degenerate outputs, kernels that over-run the padded input,
+//! and inputs wider than the physical column array are all rejected before
+//! anything executes.
+//!
+//! The pass doubles as the dataflow engine for the other passes: it returns
+//! a [`Site`] per visited instruction (nested inception instructions
+//! included) carrying the inferred input/output shapes.
+
+use crate::diag::{DiagClass, Diagnostic, Report, Severity};
+use crate::limits::ResourceLimits;
+use crate::{Instruction, Program};
+use redeye_tensor::{ConvGeom, PoolGeom};
+
+/// One instruction visit with its inferred dataflow context.
+#[derive(Debug)]
+pub(crate) struct Site<'p> {
+    /// The visited instruction.
+    pub inst: &'p Instruction,
+    /// Index path into the program (see [`Diagnostic::path`]).
+    pub path: Vec<usize>,
+    /// Inferred input shape, when the dataflow reaches this instruction.
+    pub in_shape: Option<[usize; 3]>,
+}
+
+fn err(code: &'static str, message: String) -> Diagnostic {
+    Diagnostic::new(Severity::Error, DiagClass::ShapeDataflow, code, message)
+}
+
+/// Runs the pass: emits diagnostics into `report` and returns the visited
+/// sites plus the program's final (readout) shape when derivable.
+pub(crate) fn analyze<'p>(
+    program: &'p Program,
+    limits: &ResourceLimits,
+    report: &mut Report,
+) -> (Vec<Site<'p>>, Option<[usize; 3]>) {
+    let [c, h, w] = program.input;
+    let mut start = Some(program.input);
+    if c == 0 || h == 0 || w == 0 {
+        report.push(err(
+            "RE0107",
+            format!("program input {c}x{h}x{w} has a zero dimension"),
+        ));
+        start = None;
+    }
+    if w > limits.columns {
+        report.push(
+            err(
+                "RE0106",
+                format!(
+                    "input width {w} over-runs the {}-column sensor array",
+                    limits.columns
+                ),
+            )
+            .with_note(
+                "each image column maps onto one column slice; wider inputs cannot be captured",
+            ),
+        );
+    }
+    let mut sites = Vec::new();
+    let final_shape = walk_chain(&program.instructions, &[], start, &mut sites, report, true);
+    (sites, final_shape)
+}
+
+/// Propagates shapes through a linear chain, pushing one [`Site`] per
+/// instruction. Returns the chain's output shape, or `None` once an error
+/// cuts the dataflow. At the top level (`note_unreachable`), instructions
+/// past the cut are reported as unreachable before the readout.
+fn walk_chain<'p>(
+    insts: &'p [Instruction],
+    prefix: &[usize],
+    start: Option<[usize; 3]>,
+    sites: &mut Vec<Site<'p>>,
+    report: &mut Report,
+    note_unreachable: bool,
+) -> Option<[usize; 3]> {
+    let mut cur = start;
+    let mut cut_at: Option<usize> = None;
+    for (i, inst) in insts.iter().enumerate() {
+        let mut path = prefix.to_vec();
+        path.push(i);
+        let out = match cur {
+            Some(shape) => transfer(inst, shape, &path, sites, report),
+            None => {
+                visit_unknown(inst, &path, sites);
+                None
+            }
+        };
+        if cur.is_some() && out.is_none() && cut_at.is_none() {
+            cut_at = Some(i);
+        }
+        sites.push(Site {
+            inst,
+            path,
+            in_shape: cur,
+        });
+        cur = out;
+    }
+    if note_unreachable {
+        if let Some(i) = cut_at {
+            if i + 1 < insts.len() {
+                let names: Vec<&str> = insts[i + 1..].iter().map(Instruction::name).collect();
+                report.push(
+                    Diagnostic::new(
+                        Severity::Note,
+                        DiagClass::ShapeDataflow,
+                        "RE0105",
+                        format!(
+                            "{} instruction(s) unreachable after the dataflow cut at `{}`: {}",
+                            names.len(),
+                            insts[i].name(),
+                            names.join(", ")
+                        ),
+                    )
+                    .at_path(&[i + 1]),
+                );
+            }
+        }
+    }
+    cur
+}
+
+/// The per-instruction shape transfer function. Pushes nested sites for
+/// inception branches; returns `None` when the instruction cannot execute.
+fn transfer<'p>(
+    inst: &'p Instruction,
+    shape: [usize; 3],
+    path: &[usize],
+    sites: &mut Vec<Site<'p>>,
+    report: &mut Report,
+) -> Option<[usize; 3]> {
+    let [c, h, w] = shape;
+    match inst {
+        Instruction::Conv {
+            name,
+            out_c,
+            kernel,
+            stride,
+            pad,
+            ..
+        } => {
+            if *out_c == 0 {
+                report.push(
+                    err("RE0102", format!("conv `{name}` has zero output channels"))
+                        .at_layer(name)
+                        .at_path(path),
+                );
+                return None;
+            }
+            match ConvGeom::new(c, h, w, *kernel, *kernel, *stride, *pad) {
+                Ok(geom) => Some([*out_c, geom.out_h(), geom.out_w()]),
+                Err(e) => {
+                    report.push(
+                        err(
+                            "RE0101",
+                            format!("conv `{name}` cannot apply to {c}x{h}x{w}: {e}"),
+                        )
+                        .at_layer(name)
+                        .at_path(path),
+                    );
+                    None
+                }
+            }
+        }
+        Instruction::MaxPool {
+            name,
+            window,
+            stride,
+            pad,
+        }
+        | Instruction::AvgPool {
+            name,
+            window,
+            stride,
+            pad,
+            ..
+        } => match PoolGeom::new(c, h, w, *window, *stride, *pad) {
+            Ok(geom) => Some([c, geom.out_h(), geom.out_w()]),
+            Err(e) => {
+                report.push(
+                    err(
+                        "RE0101",
+                        format!("pool `{name}` cannot apply to {c}x{h}x{w}: {e}"),
+                    )
+                    .at_layer(name)
+                    .at_path(path),
+                );
+                None
+            }
+        },
+        Instruction::Lrn { name, size, .. } => {
+            if *size == 0 {
+                report.push(
+                    err(
+                        "RE0101",
+                        format!("LRN `{name}` channel window must be positive"),
+                    )
+                    .at_layer(name)
+                    .at_path(path),
+                );
+                // Shape is unaffected by LRN; keep analyzing downstream.
+            }
+            Some(shape)
+        }
+        Instruction::Inception { name, branches } => {
+            if branches.is_empty() {
+                report.push(
+                    err("RE0104", format!("inception `{name}` has zero branches"))
+                        .at_layer(name)
+                        .at_path(path),
+                );
+                return None;
+            }
+            let mut out_c = 0usize;
+            let mut out_hw: Option<(usize, usize)> = None;
+            let mut ok = true;
+            for (bi, branch) in branches.iter().enumerate() {
+                let mut bpath = path.to_vec();
+                bpath.push(bi);
+                let bout = walk_chain(branch, &bpath, Some(shape), sites, report, false);
+                match bout {
+                    Some([bc, bh, bw]) => {
+                        out_c += bc;
+                        match out_hw {
+                            None => out_hw = Some((bh, bw)),
+                            Some((ph, pw)) if (ph, pw) != (bh, bw) => {
+                                report.push(
+                                    err(
+                                        "RE0103",
+                                        format!(
+                                            "inception `{name}` branch {bi} output {bh}x{bw} \
+                                             does not chain with {ph}x{pw} from earlier branches"
+                                        ),
+                                    )
+                                    .at_layer(name)
+                                    .at_path(&bpath)
+                                    .with_note(
+                                        "concatenation along channels requires every branch to \
+                                         agree on the spatial extent",
+                                    ),
+                                );
+                                ok = false;
+                            }
+                            Some(_) => {}
+                        }
+                    }
+                    None => ok = false,
+                }
+            }
+            if !ok {
+                return None;
+            }
+            let (fh, fw) = out_hw.expect("non-empty branches");
+            Some([out_c, fh, fw])
+        }
+    }
+}
+
+/// Visits instructions whose input shape is unknown (downstream of a cut),
+/// so later passes can still run their shape-independent checks on them.
+fn visit_unknown<'p>(inst: &'p Instruction, path: &[usize], sites: &mut Vec<Site<'p>>) {
+    if let Instruction::Inception { branches, .. } = inst {
+        for (bi, branch) in branches.iter().enumerate() {
+            for (i, binst) in branch.iter().enumerate() {
+                let mut bpath = path.to_vec();
+                bpath.push(bi);
+                bpath.push(i);
+                visit_unknown(binst, &bpath, sites);
+                sites.push(Site {
+                    inst: binst,
+                    path: bpath,
+                    in_shape: None,
+                });
+            }
+        }
+    }
+}

@@ -63,6 +63,7 @@ fn analog_features_classify_on_host() {
         weight_bits: 8,
         snr: SnrDb::new(40.0),
         adc_bits: 6,
+        ..CompileOptions::default()
     };
     let program = compile(&prefix, &mut bank, &opts).unwrap();
     let mut executor = Executor::new(program, 5);

@@ -166,7 +166,7 @@ mod tests {
             b.iter(|| {
                 ran += 1;
                 ran
-            })
+            });
         });
         assert!(ran > 0);
     }
@@ -179,7 +179,7 @@ mod tests {
                 || vec![1.0f32; 8],
                 |v| v.iter().sum::<f32>(),
                 BatchSize::SmallInput,
-            )
+            );
         });
     }
 }

@@ -13,7 +13,7 @@ pub mod thread {
     use std::thread as std_thread;
 
     /// A scope for spawning borrowing threads (wraps [`std::thread::Scope`]).
-    pub struct Scope<'scope, 'env: 'scope> {
+    pub struct Scope<'scope, 'env> {
         inner: &'scope std_thread::Scope<'scope, 'env>,
     }
 
