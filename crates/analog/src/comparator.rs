@@ -9,7 +9,7 @@
 
 use crate::calib::{COMPARATOR_DECISION_TIME, COMPARATOR_ENERGY, SWING};
 use crate::{Joules, Seconds, Volts};
-use redeye_tensor::Rng;
+use redeye_tensor::NoiseSource;
 
 /// Outcome of one comparator decision.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,7 +63,11 @@ impl Comparator {
     }
 
     /// Compares two voltages, modeling input noise and metastability.
-    pub fn compare(&mut self, a: f64, b: f64, rng: &mut Rng) -> ComparatorDecision {
+    ///
+    /// Generic over the noise source so decisions can draw either from the
+    /// sequential [`redeye_tensor::Rng`] or from a deterministic per-site
+    /// [`redeye_tensor::SiteRng`] in parallel executors.
+    pub fn compare<R: NoiseSource>(&mut self, a: f64, b: f64, rng: &mut R) -> ComparatorDecision {
         self.decisions += 1;
         self.energy += COMPARATOR_ENERGY;
         let delta = (a - b) + f64::from(rng.standard_normal()) * self.noise_rms.value();
@@ -117,6 +121,7 @@ impl Default for Comparator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use redeye_tensor::Rng;
 
     #[test]
     fn clear_differences_decide_correctly() {

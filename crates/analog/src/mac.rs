@@ -9,7 +9,7 @@
 
 use crate::calib::{MAC_ENERGY_40DB, MAC_SETTLE_TIME_40DB, SWING};
 use crate::{AnalogError, DampingConfig, Joules, Result, Seconds, TunableCap};
-use redeye_tensor::Rng;
+use redeye_tensor::NoiseSource;
 
 /// Configuration of a MAC instance.
 #[derive(Debug, Clone)]
@@ -47,7 +47,7 @@ impl Mac {
     /// # Errors
     ///
     /// Returns [`AnalogError::OutOfRange`] for an unsupported weight width.
-    pub fn new(config: MacConfig, rng: &mut Rng) -> Result<Self> {
+    pub fn new<R: NoiseSource>(config: MacConfig, rng: &mut R) -> Result<Self> {
         let dac = if config.model_mismatch {
             TunableCap::with_mismatch(config.weight_bits, rng)?
         } else {
@@ -96,11 +96,11 @@ impl Mac {
     ///
     /// Returns [`AnalogError::OutOfRange`] if slices disagree in length or a
     /// code magnitude exceeds the DAC range.
-    pub fn multiply_accumulate(
+    pub fn multiply_accumulate<R: NoiseSource>(
         &mut self,
         inputs: &[f64],
         codes: &[i32],
-        rng: &mut Rng,
+        rng: &mut R,
     ) -> Result<f64> {
         if inputs.len() != codes.len() {
             return Err(AnalogError::OutOfRange {
@@ -147,6 +147,7 @@ impl Mac {
 mod tests {
     use super::*;
     use crate::SnrDb;
+    use redeye_tensor::Rng;
 
     fn quiet_mac() -> (Mac, Rng) {
         // 120 dB damping: noise negligible for exactness tests.

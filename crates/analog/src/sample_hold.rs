@@ -8,7 +8,7 @@
 
 use crate::calib::{MEMORY_WRITE_ENERGY_40DB, SWING};
 use crate::{DampingConfig, Joules, Seconds};
-use redeye_tensor::Rng;
+use redeye_tensor::NoiseSource;
 
 /// Switch excess-noise factor γ: thermal noise of a real MOS sampling switch
 /// exceeds the ideal-insulator kT/C by this factor (§IV-B).
@@ -46,7 +46,7 @@ impl SampleHold {
 
     /// Writes a value, adding γ-scaled kT/C sampling noise and clipping to
     /// the rail swing.
-    pub fn write(&mut self, value: f64, rng: &mut Rng) {
+    pub fn write<R: NoiseSource>(&mut self, value: f64, rng: &mut R) {
         let noise_rms = self.damping.noise_rms().value() * GAMMA.sqrt();
         let noisy = value + f64::from(rng.standard_normal()) * noise_rms;
         self.stored = noisy.clamp(-SWING.value(), SWING.value());
@@ -85,6 +85,7 @@ impl SampleHold {
 mod tests {
     use super::*;
     use crate::SnrDb;
+    use redeye_tensor::Rng;
 
     #[test]
     fn write_read_round_trip_at_high_fidelity() {

@@ -11,7 +11,7 @@
 
 use crate::calib::{MISMATCH_COEFF, SAR_ARRAY_STEP_ENERGY, SAR_BIT_LOGIC_ENERGY, SAR_BIT_TIME};
 use crate::{AnalogError, Joules, Result, Seconds, SnrDb};
-use redeye_tensor::Rng;
+use redeye_tensor::NoiseSource;
 
 /// Maximum designed resolution of the array (the paper's design is 10-bit).
 pub const MAX_RESOLUTION: u32 = 10;
@@ -55,6 +55,10 @@ pub struct SarAdc {
     resolution: u32,
     /// Relative mismatch of each binary-weighted capacitor `C_1..C_10`.
     mismatch: [f64; MAX_RESOLUTION as usize],
+    /// Cached `C_i / C_Σ` for the active bits (index `i − 1`), rebuilt when
+    /// the resolution or mismatch changes; conversions are a hot path and
+    /// the weights are constant between reconfigurations.
+    weights: [f64; MAX_RESOLUTION as usize],
     /// Comparator input-referred noise as a fraction of full scale.
     comparator_noise: f64,
     /// Unit-capacitor scale relative to the calibrated `C0` (§II-B: "using
@@ -80,14 +84,17 @@ impl SarAdc {
                 allowed: "1..=10",
             });
         }
-        Ok(SarAdc {
+        let mut adc = SarAdc {
             resolution,
             mismatch: [0.0; MAX_RESOLUTION as usize],
+            weights: [0.0; MAX_RESOLUTION as usize],
             comparator_noise: 0.0,
             unit_scale: 1.0,
             energy: Joules::zero(),
             conversions: 0,
-        })
+        };
+        adc.rebuild_weights();
+        Ok(adc)
     }
 
     /// Creates an ADC with Pelgrom-scaled random capacitor mismatch and a
@@ -98,7 +105,7 @@ impl SarAdc {
     /// # Errors
     ///
     /// Returns [`AnalogError::OutOfRange`] unless `1 ≤ resolution ≤ 10`.
-    pub fn with_mismatch(resolution: u32, rng: &mut Rng) -> Result<Self> {
+    pub fn with_mismatch<R: NoiseSource>(resolution: u32, rng: &mut R) -> Result<Self> {
         SarAdc::with_unit_scale(resolution, 1.0, rng)
     }
 
@@ -110,7 +117,11 @@ impl SarAdc {
     ///
     /// Returns [`AnalogError::OutOfRange`] for a bad resolution or a
     /// non-positive scale.
-    pub fn with_unit_scale(resolution: u32, unit_scale: f64, rng: &mut Rng) -> Result<Self> {
+    pub fn with_unit_scale<R: NoiseSource>(
+        resolution: u32,
+        unit_scale: f64,
+        rng: &mut R,
+    ) -> Result<Self> {
         if !(unit_scale > 0.0 && unit_scale.is_finite()) {
             return Err(AnalogError::OutOfRange {
                 parameter: "unit capacitor scale",
@@ -125,6 +136,7 @@ impl SarAdc {
             *m = f64::from(rng.standard_normal()) * MISMATCH_COEFF / units.sqrt();
         }
         adc.comparator_noise = 1e-4;
+        adc.rebuild_weights();
         Ok(adc)
     }
 
@@ -148,28 +160,32 @@ impl SarAdc {
             });
         }
         self.resolution = resolution;
+        self.rebuild_weights();
         Ok(())
     }
 
-    /// Weight of active bit `i` (1-based, `i = resolution` is the MSB),
-    /// including mismatch: `w_i = C_i / C_Σ`.
-    fn bit_weight(&self, i: u32) -> f64 {
-        debug_assert!((1..=self.resolution).contains(&i));
+    /// Recomputes the cached bit-weight table for the active resolution:
+    /// the weight of active bit `i` (1-based, `i = resolution` is the MSB),
+    /// including mismatch, is `w_i = C_i / C_Σ`.
+    fn rebuild_weights(&mut self) {
         let cap = |j: u32| 2f64.powi(j as i32 - 1) * (1.0 + self.mismatch[(j - 1) as usize]);
         let total: f64 = (1..=self.resolution).map(cap).sum::<f64>() + 1.0; // + C0 terminator
-        cap(i) / total
+        self.weights = [0.0; MAX_RESOLUTION as usize];
+        for i in 1..=self.resolution {
+            self.weights[(i - 1) as usize] = cap(i) / total;
+        }
     }
 
     /// Converts a normalized input in `[0, 1)` of full scale.
     ///
     /// Out-of-range inputs are clipped to the rails (as the real circuit
     /// does).
-    pub fn convert(&mut self, input: f64, rng: &mut Rng) -> SarConversion {
+    pub fn convert<R: NoiseSource>(&mut self, input: f64, rng: &mut R) -> SarConversion {
         let x = input.clamp(0.0, 1.0 - f64::EPSILON);
         let mut code = 0u32;
         let mut approximation = 0.0f64;
         for i in (1..=self.resolution).rev() {
-            let trial = approximation + self.bit_weight(i);
+            let trial = approximation + self.weights[(i - 1) as usize];
             let noise = if self.comparator_noise > 0.0 {
                 f64::from(rng.standard_normal()) * self.comparator_noise
             } else {
@@ -210,7 +226,7 @@ impl SarAdc {
     /// Measures the effective number of bits by converting `samples` uniform
     /// random inputs and comparing reconstruction error to the ideal LSB
     /// noise: `ENOB = n − log2(rms_err / ideal_rms_err)`.
-    pub fn simulated_enob(&mut self, samples: usize, rng: &mut Rng) -> f64 {
+    pub fn simulated_enob<R: NoiseSource>(&mut self, samples: usize, rng: &mut R) -> f64 {
         let n = self.resolution;
         let mut err_power = 0.0f64;
         for _ in 0..samples.max(1) {
@@ -239,6 +255,7 @@ impl SarAdc {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use redeye_tensor::Rng;
 
     #[test]
     fn ideal_conversion_is_floor_of_scaled_input() {

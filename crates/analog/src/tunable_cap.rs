@@ -12,7 +12,7 @@
 
 use crate::calib::{MISMATCH_COEFF, SUPPLY, UNIT_CAP};
 use crate::{AnalogError, Farads, Joules, Result};
-use redeye_tensor::Rng;
+use redeye_tensor::NoiseSource;
 
 /// Bit width of the weight DAC as fabricated (§IV-A: "8-bit tunable
 /// capacitor"). Programs must quantize kernel weights to signed fixed-point
@@ -63,7 +63,7 @@ impl TunableCap {
     /// # Errors
     ///
     /// Returns [`AnalogError::OutOfRange`] unless `2 ≤ bits ≤ 16`.
-    pub fn with_mismatch(bits: u32, rng: &mut Rng) -> Result<Self> {
+    pub fn with_mismatch<R: NoiseSource>(bits: u32, rng: &mut R) -> Result<Self> {
         let mut tc = TunableCap::new(bits)?;
         for m in &mut tc.mismatch {
             *m = f64::from(rng.standard_normal()) * MISMATCH_COEFF;
@@ -145,6 +145,7 @@ impl TunableCap {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use redeye_tensor::Rng;
 
     #[test]
     fn ideal_weight_is_code_over_full_scale() {

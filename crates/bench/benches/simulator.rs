@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use redeye_analog::{Comparator, DampingConfig, Mac, MacConfig, SarAdc, SnrDb, TunableCap};
-use redeye_core::{compile, estimate, CompileOptions, Depth, Executor, RedEyeConfig, WeightBank};
+use redeye_core::{
+    compile, estimate, CompileOptions, Depth, Executor, NoiseMode, RedEyeConfig, WeightBank,
+};
 use redeye_nn::{build_network, summarize, zoo, WeightInit};
 use redeye_system::scenario;
 use redeye_tensor::{gemm, matmul_naive, Rng, Tensor, Workspace};
@@ -41,6 +43,36 @@ fn bench_executor(c: &mut Criterion) {
             BatchSize::SmallInput,
         );
     });
+}
+
+/// The column-parallel analog pipeline: one executor frame per noise mode
+/// and analog thread budget (the BENCH_analog.json axes, criterion-sized).
+fn bench_analog_pipeline(c: &mut Criterion) {
+    let spec = zoo::micronet(16, 10);
+    let prefix = spec.prefix_through("pool3").unwrap();
+    let mut rng = Rng::seed_from(13);
+    let mut net = build_network(&prefix, WeightInit::HeNormal, &mut rng).unwrap();
+    let mut bank = WeightBank::from_network(&mut net);
+    let program = compile(&prefix, &mut bank, &CompileOptions::default()).unwrap();
+    let input = Tensor::uniform(&[3, 32, 32], 0.0, 1.0, &mut rng);
+    for (label, mode, threads) in [
+        ("scalar_1t", NoiseMode::Scalar, 1usize),
+        ("batched_1t", NoiseMode::Batched, 1),
+        ("batched_4t", NoiseMode::Batched, 4),
+    ] {
+        c.bench_function(&format!("executor/analog_pipeline/{label}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut exec = Executor::new(program.clone(), 7);
+                    exec.set_noise_mode(mode);
+                    exec.set_analog_threads(threads);
+                    exec
+                },
+                |mut exec| exec.execute(&input).unwrap(),
+                BatchSize::SmallInput,
+            );
+        });
+    }
 }
 
 /// §IV-A circuit models: MAC, SAR conversion, comparator, weight DAC.
@@ -129,6 +161,7 @@ criterion_group!(
     bench_estimator,
     bench_scenarios,
     bench_executor,
+    bench_analog_pipeline,
     bench_circuits,
     bench_ablation,
     bench_gemm,

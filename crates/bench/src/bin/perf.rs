@@ -2,16 +2,22 @@
 //!
 //! Times the packed GEMM engine against the retained naive reference at the
 //! paper-relevant square sizes, one MicroNet forward epoch, and the
-//! frame-parallel accuracy sweep at 1 vs 4 worker threads. Results are
-//! written to `BENCH_gemm.json` in the invocation directory as rows of
-//! `{name, wall_ms, threads}`.
+//! frame-parallel accuracy sweep at 1 vs 4 worker threads (written to
+//! `BENCH_gemm.json`); and the analog executor pipeline — Gaussian noise
+//! kernels (scalar Box–Muller vs batched polar) plus whole GoogLeNet frames at
+//! Depth1/Depth3/Depth5 across analog thread budgets (written to
+//! `BENCH_analog.json`). All rows are `{name, wall_ms, threads}`.
 //!
-//! Usage: `cargo run --release -p redeye-bench --bin perf`
+//! Usage: `cargo run --release -p redeye-bench --bin perf [-- FLAGS]`
+//!
+//! - `--analog-only`: skip the GEMM/epoch/sweep section (and its JSON).
+//! - `--smoke`: CI-sized run — Depth1 only, fewer reps, smaller kernels.
 
 use redeye_bench::workload;
+use redeye_core::{compile, CompileOptions, Depth, Executor, NoiseMode, Program, WeightBank};
 use redeye_nn::{build_network, zoo, WeightInit};
 use redeye_sim::{extract_params, instrument, AccuracyHarness, InstrumentOptions};
-use redeye_tensor::{gemm, matmul_naive, Rng, Tensor, Workspace};
+use redeye_tensor::{gemm, matmul_naive, NoiseSource, NoiseStream, Rng, Tensor, Workspace};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -150,14 +156,155 @@ fn bench_accuracy_sweep(rows: &mut Vec<Row>) {
     });
 }
 
-fn main() {
-    let mut rows: Vec<Row> = Vec::new();
-    bench_gemm(&mut rows, 256, 4);
-    bench_gemm(&mut rows, 512, 4);
-    bench_micronet_epoch(&mut rows);
-    bench_accuracy_sweep(&mut rows);
+/// Times the Gaussian noise kernels at a Depth3-scale plane: the scalar
+/// per-site Box–Muller baseline against the pair-amortized batched fill,
+/// serial and sharded.
+fn bench_noise_kernels(rows: &mut Vec<Row>, smoke: bool) {
+    // ~2M samples: the order of the total layer-noise sites a Depth3
+    // GoogLeNet frame draws (conv1 + conv2 + inception_3a/3b planes).
+    let n: usize = if smoke { 1 << 19 } else { 1 << 21 };
+    let reps = if smoke { 2 } else { 5 };
+    let stream = NoiseStream::new(7);
+    let mut buf = vec![0.0f32; n];
 
-    let json = serde_json::to_string_pretty(&rows).expect("serialize rows");
-    std::fs::write("BENCH_gemm.json", json).expect("write BENCH_gemm.json");
-    println!("wrote BENCH_gemm.json ({} rows)", rows.len());
+    let scalar_ms = best_of(reps, || {
+        for (i, v) in buf.iter_mut().enumerate() {
+            *v = stream.at(i as u64).standard_normal();
+        }
+        std::hint::black_box(&buf);
+    });
+    let batched_ms = best_of(reps, || {
+        stream.fill_standard_normal(&mut buf);
+        std::hint::black_box(&buf);
+    });
+    let mut sharded_ms = |threads: usize| {
+        best_of(reps, || {
+            let chunk = n.div_ceil(threads).div_ceil(2) * 2;
+            std::thread::scope(|scope| {
+                for (t, band) in buf.chunks_mut(chunk).enumerate() {
+                    let stream = &stream;
+                    scope.spawn(move || {
+                        stream.fill_standard_normal_at((t * chunk) as u64, band);
+                    });
+                }
+            });
+            std::hint::black_box(&buf);
+        })
+    };
+    let batched_2t_ms = sharded_ms(2);
+    let batched_4t_ms = sharded_ms(4);
+
+    println!(
+        "noise kernel ({n} samples): scalar {scalar_ms:.1} ms | batched(1t) {batched_ms:.1} ms ({:.2}x) | batched(2t) {batched_2t_ms:.1} ms | batched(4t) {batched_4t_ms:.1} ms",
+        scalar_ms / batched_ms,
+    );
+    for (name, wall_ms, threads) in [
+        ("noise_d3_scalar", scalar_ms, 1),
+        ("noise_d3_batched", batched_ms, 1),
+        ("noise_d3_batched", batched_2t_ms, 2),
+        ("noise_d3_batched", batched_4t_ms, 4),
+    ] {
+        rows.push(Row {
+            name: name.into(),
+            wall_ms,
+            threads,
+        });
+    }
+}
+
+/// Compiles the GoogLeNet prefix for `depth` and builds a matching input.
+fn analog_program(depth: Depth) -> (Program, Tensor) {
+    let spec = zoo::googlenet();
+    let prefix = spec.prefix_through(depth.cut_layer()).expect("cut exists");
+    let mut rng = Rng::seed_from(41);
+    let mut net = build_network(&prefix, WeightInit::HeNormal, &mut rng).expect("googlenet builds");
+    let mut bank = WeightBank::from_network(&mut net);
+    let program = compile(&prefix, &mut bank, &CompileOptions::default()).expect("compiles");
+    let input = Tensor::uniform(&[3, 227, 227], 0.0, 1.0, &mut rng);
+    (program, input)
+}
+
+/// Times whole executor frames per depth: the scalar noise baseline against
+/// the batched path, then batched across analog thread budgets.
+fn bench_analog_frames(rows: &mut Vec<Row>, smoke: bool) {
+    let depths: &[Depth] = if smoke {
+        &[Depth::D1]
+    } else {
+        &[Depth::D1, Depth::D3, Depth::D5]
+    };
+    let reps = if smoke { 1 } else { 4 };
+    let variants = [
+        (NoiseMode::Scalar, 1usize),
+        (NoiseMode::Batched, 1),
+        (NoiseMode::Batched, 2),
+        (NoiseMode::Batched, 4),
+    ];
+    for &depth in depths {
+        let (program, input) = analog_program(depth);
+        let mut execs: Vec<Executor> = variants
+            .iter()
+            .map(|&(mode, threads)| {
+                let mut exec = Executor::new(program.clone(), 29);
+                exec.set_noise_mode(mode);
+                exec.set_analog_threads(threads);
+                // Warm run: verifies the program and grows the conv workspace.
+                exec.execute(&input).expect("frame");
+                exec
+            })
+            .collect();
+        // Interleave the variants within each rep (as bench_gemm does) so
+        // host-load drift hits them equally and the ratios stay meaningful.
+        let mut best = [f64::INFINITY; 4];
+        for _ in 0..reps {
+            for (slot, exec) in best.iter_mut().zip(&mut execs) {
+                let start = Instant::now();
+                exec.execute(&input).expect("frame");
+                *slot = slot.min(start.elapsed().as_secs_f64() * 1e3);
+            }
+        }
+        let [scalar_1t, batched_1t, batched_2t, batched_4t] = best;
+        let tag = depth.to_string().to_lowercase();
+        println!(
+            "{tag} frame: scalar(1t) {scalar_1t:.1} ms | batched(1t) {batched_1t:.1} ms ({:.2}x) | batched(2t) {batched_2t:.1} ms | batched(4t) {batched_4t:.1} ms",
+            scalar_1t / batched_1t,
+        );
+        for (suffix, wall_ms, threads) in [
+            ("scalar", scalar_1t, 1),
+            ("batched", batched_1t, 1),
+            ("batched", batched_2t, 2),
+            ("batched", batched_4t, 4),
+        ] {
+            rows.push(Row {
+                name: format!("frame_{tag}_{suffix}"),
+                wall_ms,
+                threads,
+            });
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let analog_only = args.iter().any(|a| a == "--analog-only");
+
+    if !analog_only {
+        let mut rows: Vec<Row> = Vec::new();
+        bench_gemm(&mut rows, 256, 4);
+        bench_gemm(&mut rows, 512, 4);
+        bench_micronet_epoch(&mut rows);
+        bench_accuracy_sweep(&mut rows);
+
+        let json = serde_json::to_string_pretty(&rows).expect("serialize rows");
+        std::fs::write("BENCH_gemm.json", json).expect("write BENCH_gemm.json");
+        println!("wrote BENCH_gemm.json ({} rows)", rows.len());
+    }
+
+    let mut analog_rows: Vec<Row> = Vec::new();
+    bench_noise_kernels(&mut analog_rows, smoke);
+    bench_analog_frames(&mut analog_rows, smoke);
+
+    let json = serde_json::to_string_pretty(&analog_rows).expect("serialize rows");
+    std::fs::write("BENCH_analog.json", json).expect("write BENCH_analog.json");
+    println!("wrote BENCH_analog.json ({} rows)", analog_rows.len());
 }

@@ -13,14 +13,29 @@
 //! aggregate equivalent of one damped-node sample per MAC output); max
 //! pooling runs through the dynamic-comparator model with metastability
 //! forcing; and the readout is a bit-accurate SAR conversion.
+//!
+//! # Deterministic column parallelism
+//!
+//! All stochastic behaviour draws from a counter-based
+//! [`NoiseStream`](redeye_tensor::NoiseStream): every sample is a pure
+//! function of `(seed, frame, instruction, site, draw)`, where the *site* is
+//! the output element an analog module is computing. Because no draw state
+//! is shared between sites, the per-element loops (layer noise, comparator
+//! max pooling, SAR readout) shard freely across worker threads — mirroring
+//! RedEye's physically column-parallel pipeline — and the output is
+//! **bit-identical for a fixed seed regardless of the thread count**. Energy
+//! is charged as `count × per-op energy` products and integer stats are
+//! summed in band order, so the ledger is equally invariant to resharding.
 
 use crate::{CoreError, EnergyLedger, Instruction, Program, Result};
 use redeye_analog::calib::{
-    COMPARATOR_DECISION_TIME, MAC_ENERGY_40DB, MAC_SETTLE_TIME_40DB, MEMORY_WRITE_ENERGY_40DB,
-    SWING,
+    COMPARATOR_DECISION_TIME, COMPARATOR_ENERGY, MAC_ENERGY_40DB, MAC_SETTLE_TIME_40DB,
+    MEMORY_WRITE_ENERGY_40DB, SWING,
 };
 use redeye_analog::{Comparator, DampingConfig, SarAdc, Seconds, SnrDb};
-use redeye_tensor::{gemm_into, im2col_into, ConvGeom, PoolGeom, Rng, Tensor, Workspace};
+use redeye_tensor::{
+    gemm_into, im2col_into, ConvGeom, NoiseSource, NoiseStream, PoolGeom, Tensor, Workspace,
+};
 
 /// Result of executing one frame.
 #[derive(Debug, Clone)]
@@ -34,15 +49,46 @@ pub struct ExecutionResult {
     pub ledger: EnergyLedger,
     /// Frame time under column parallelism.
     pub elapsed: Seconds,
-    /// Comparator decisions that were forced by the metastability timeout.
+    /// Comparator decisions that were forced by the metastability timeout
+    /// (cumulative across the executor's lifetime, like the hardware's
+    /// diagnostic counter).
     pub forced_decisions: u64,
 }
 
+/// How the executor draws per-element Gaussian layer noise.
+///
+/// Both modes are deterministic per `(seed, site)` and bit-identical across
+/// thread counts; they differ in which deterministic value each site gets
+/// and in cost. [`NoiseMode::Batched`] amortizes one two-output Marsaglia
+/// polar evaluation (one `ln`/`sqrt`, no trigonometry) over each element
+/// *pair*; [`NoiseMode::Scalar`] spends a full Box–Muller transform per
+/// element and exists as the reference baseline for the perf reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NoiseMode {
+    /// One Box–Muller evaluation per element (reference baseline).
+    Scalar,
+    /// Pair-amortized batched sampling (default).
+    #[default]
+    Batched,
+}
+
+/// Minimum number of analog sites in a stage before it shards across
+/// threads; below this the spawn overhead dominates. Purely a performance
+/// threshold — per-site streams make serial and sharded execution
+/// bit-identical.
+const ANALOG_PARALLEL_MIN: usize = 4096;
+
 /// The RedEye functional executor.
 ///
-/// Holds the program, a seeded RNG (all noise is reproducible), and the
-/// module models it reuses cyclically across layers — mirroring the
-/// physical module reuse of §III-B.
+/// Holds the program, the root noise stream (all noise is a pure function
+/// of the seed), and the reusable scratch the conv instructions share —
+/// mirroring the physical module reuse of §III-B.
+///
+/// Three thread knobs exist across the stack: frame-level parallelism in
+/// `redeye-sim`'s accuracy harness, the GEMM budget for conv products
+/// ([`Executor::set_gemm_threads`]), and the analog-stage budget for the
+/// per-site pipelines ([`Executor::set_analog_threads`]).
+/// [`Executor::set_threads`] sets the latter two together.
 ///
 /// # Example
 ///
@@ -69,15 +115,25 @@ pub struct ExecutionResult {
 #[derive(Debug)]
 pub struct Executor {
     program: Program,
-    rng: Rng,
-    comparator: Comparator,
+    /// Root counter-based stream; frame `f` executes under
+    /// `stream.substream(f)`.
+    stream: NoiseStream,
+    /// Number of frames executed so far (the frame substream label).
+    frames: u64,
+    /// Cumulative forced comparator decisions across all frames.
+    forced_total: u64,
     /// Number of column slices available for this program's sensor array.
     columns: f64,
     /// Reusable `im2col`/GEMM scratch shared by every conv instruction;
     /// grows to the program's high-water mark on the first frame.
     ws: Workspace,
-    /// GEMM thread budget for conv instructions (see [`Executor::set_threads`]).
-    threads: usize,
+    /// GEMM thread budget for conv instructions.
+    gemm_threads: usize,
+    /// Thread budget for the per-site analog stages (layer noise,
+    /// comparator pooling, SAR readout).
+    analog_threads: usize,
+    /// Gaussian sampling strategy for the layer-noise stage.
+    noise_mode: NoiseMode,
     /// Whether the loaded program has passed static verification; checked
     /// lazily on the first frame so construction stays infallible.
     verified: bool,
@@ -90,19 +146,44 @@ impl Executor {
         let columns = program.input[2].max(1) as f64;
         Executor {
             program,
-            rng: Rng::seed_from(seed),
-            comparator: Comparator::new(),
+            stream: NoiseStream::new(seed),
+            frames: 0,
+            forced_total: 0,
             columns,
             ws: Workspace::new(),
-            threads: 1,
+            gemm_threads: 1,
+            analog_threads: 1,
+            noise_mode: NoiseMode::default(),
             verified: false,
         }
     }
 
-    /// Sets the GEMM thread budget for conv instructions. Results are
-    /// bit-identical across budgets; small products stay serial regardless.
+    /// Sets both the GEMM and the analog-stage thread budgets. Results are
+    /// bit-identical across budgets; small stages stay serial regardless.
     pub fn set_threads(&mut self, threads: usize) {
-        self.threads = threads.max(1);
+        self.set_gemm_threads(threads);
+        self.set_analog_threads(threads);
+    }
+
+    /// Sets the GEMM thread budget for conv instructions only.
+    pub fn set_gemm_threads(&mut self, threads: usize) {
+        self.gemm_threads = threads.max(1);
+    }
+
+    /// Sets the thread budget for the per-site analog stages (layer noise,
+    /// comparator max pooling, SAR readout) only.
+    pub fn set_analog_threads(&mut self, threads: usize) {
+        self.analog_threads = threads.max(1);
+    }
+
+    /// Selects the Gaussian sampling strategy for the layer-noise stage.
+    pub fn set_noise_mode(&mut self, mode: NoiseMode) {
+        self.noise_mode = mode;
+    }
+
+    /// The active Gaussian sampling strategy.
+    pub fn noise_mode(&self) -> NoiseMode {
+        self.noise_mode
     }
 
     /// The loaded program.
@@ -136,31 +217,74 @@ impl Executor {
                 ),
             });
         }
-        let mut ledger = EnergyLedger::new();
-        let mut elapsed = Seconds::zero();
-        let instructions = self.program.instructions.clone();
-        let mut x = input.clone();
-        for inst in &instructions {
-            x = self.run_instruction(inst, &x, &mut ledger, &mut elapsed)?;
+        let mut pass = FramePass {
+            ws: &mut self.ws,
+            stream: self.stream.substream(self.frames),
+            ordinal: 0,
+            columns: self.columns,
+            gemm_threads: self.gemm_threads,
+            analog_threads: self.analog_threads,
+            noise_mode: self.noise_mode,
+            ledger: EnergyLedger::new(),
+            elapsed: Seconds::zero(),
+            forced: 0,
+        };
+        self.frames += 1;
+        // The input tensor is borrowed, not cloned: instruction outputs move
+        // through `owned`, and the first instruction reads `input` directly.
+        let mut owned: Option<Tensor> = None;
+        for inst in &self.program.instructions {
+            let next = pass.run_instruction(inst, owned.as_ref().unwrap_or(input))?;
+            owned = Some(next);
         }
-        let (features, codes) = self.quantize(&x, &mut ledger, &mut elapsed)?;
+        let (features, codes) =
+            pass.quantize(self.program.adc_bits, owned.as_ref().unwrap_or(input))?;
+        let FramePass {
+            mut ledger,
+            elapsed,
+            forced,
+            ..
+        } = pass;
         ledger.controller = crate::estimate::controller_power() * elapsed;
+        self.forced_total += forced;
         Ok(ExecutionResult {
             features,
             codes,
-            forced_decisions: self.comparator.forced_decisions(),
+            forced_decisions: self.forced_total,
             ledger,
             elapsed,
         })
     }
+}
 
-    fn run_instruction(
-        &mut self,
-        inst: &Instruction,
-        x: &Tensor,
-        ledger: &mut EnergyLedger,
-        elapsed: &mut Seconds,
-    ) -> Result<Tensor> {
+/// State for one frame's pass through the program: borrows the executor's
+/// scratch workspace and carries the frame's noise stream, energy ledger,
+/// and clock. Instruction substreams are keyed by a DFS ordinal, so the
+/// noise a given instruction draws is independent of how any *other*
+/// instruction is scheduled or sharded.
+struct FramePass<'a> {
+    ws: &'a mut Workspace,
+    stream: NoiseStream,
+    /// Next instruction ordinal (DFS order through inception branches).
+    ordinal: u64,
+    columns: f64,
+    gemm_threads: usize,
+    analog_threads: usize,
+    noise_mode: NoiseMode,
+    ledger: EnergyLedger,
+    elapsed: Seconds,
+    forced: u64,
+}
+
+impl FramePass<'_> {
+    /// The substream for the next instruction in DFS order.
+    fn next_stream(&mut self) -> NoiseStream {
+        let s = self.stream.substream(self.ordinal);
+        self.ordinal += 1;
+        s
+    }
+
+    fn run_instruction(&mut self, inst: &Instruction, x: &Tensor) -> Result<Tensor> {
         match inst {
             Instruction::Conv {
                 name,
@@ -208,7 +332,7 @@ impl Executor {
                     *out_c,
                     positions,
                     patch,
-                    self.threads,
+                    self.gemm_threads,
                 );
                 for (oc, &b) in bias.iter().enumerate() {
                     for v in &mut out[oc * positions..(oc + 1) * positions] {
@@ -220,8 +344,8 @@ impl Executor {
                 let out = clip_and_rectify(out, *relu);
 
                 let macs = geom.macs(*out_c);
-                self.charge_macs(ledger, elapsed, macs, *snr);
-                self.charge_writes(ledger, out.len() as u64, *snr);
+                self.charge_macs(macs, *snr);
+                self.charge_writes(out.len() as u64, *snr);
                 Ok(out.into_reshaped(&[*out_c, geom.out_h(), geom.out_w()])?)
             }
             Instruction::MaxPool {
@@ -237,8 +361,8 @@ impl Executor {
                     });
                 }
                 let geom = PoolGeom::new(dims[0], dims[1], dims[2], *window, *stride, *pad)?;
-                let out = self.comparator_maxpool(x, &geom, ledger, elapsed);
-                self.charge_writes(ledger, out.len() as u64, SnrDb::new(40.0));
+                let out = self.comparator_maxpool(x, &geom);
+                self.charge_writes(out.len() as u64, SnrDb::new(40.0));
                 Ok(out)
             }
             Instruction::AvgPool {
@@ -258,8 +382,8 @@ impl Executor {
                 let out = average_pool(x, &geom);
                 let out = self.add_layer_noise(out, *snr);
                 let macs = out.len() as u64 * (*window * *window) as u64;
-                self.charge_macs(ledger, elapsed, macs, *snr);
-                self.charge_writes(ledger, out.len() as u64, *snr);
+                self.charge_macs(macs, *snr);
+                self.charge_writes(out.len() as u64, *snr);
                 Ok(out)
             }
             Instruction::Lrn {
@@ -273,18 +397,19 @@ impl Executor {
                 let out = lrn(x, *size, *alpha, *beta, *k)?;
                 let out = self.add_layer_noise(out, *snr);
                 let macs = out.len() as u64 * (*size as u64 + 1);
-                self.charge_macs(ledger, elapsed, macs, *snr);
-                self.charge_writes(ledger, out.len() as u64, *snr);
+                self.charge_macs(macs, *snr);
+                self.charge_writes(out.len() as u64, *snr);
                 Ok(out)
             }
             Instruction::Inception { branches, .. } => {
                 let mut outs = Vec::with_capacity(branches.len());
                 for branch in branches {
-                    let mut bx = x.clone();
+                    let mut bx: Option<Tensor> = None;
                     for inst in branch {
-                        bx = self.run_instruction(inst, &bx, ledger, elapsed)?;
+                        let next = self.run_instruction(inst, bx.as_ref().unwrap_or(x))?;
+                        bx = Some(next);
                     }
-                    outs.push(bx);
+                    outs.push(bx.unwrap_or_else(|| x.clone()));
                 }
                 concat_channels(&outs)
             }
@@ -292,40 +417,55 @@ impl Executor {
     }
 
     /// Adds the layer-SNR Gaussian noise of the paper's Gaussian Noise
-    /// Layer: σ = signal_rms / 10^(SNR/20).
+    /// Layer: σ = signal_rms / 10^(SNR/20). Site `i` is output element `i`;
+    /// the plane shards across the analog thread budget on sample-pair
+    /// boundaries, so any resharding reproduces the same elements.
     fn add_layer_noise(&mut self, mut out: Tensor, snr: SnrDb) -> Tensor {
         let rms = out.power().map(f32::sqrt).unwrap_or(0.0);
-        if rms > 0.0 {
-            let sigma = rms / snr.amplitude_ratio() as f32;
-            for v in out.iter_mut() {
-                *v += sigma * self.rng.standard_normal();
+        if rms <= 0.0 {
+            return out;
+        }
+        let sigma = rms / snr.amplitude_ratio() as f32;
+        let stream = self.next_stream();
+        match self.noise_mode {
+            NoiseMode::Batched => {
+                shard_mut(out.as_mut_slice(), self.analog_threads, 2, |first, band| {
+                    stream.add_scaled_normal(first as u64, sigma, band);
+                });
+            }
+            NoiseMode::Scalar => {
+                shard_mut(out.as_mut_slice(), self.analog_threads, 1, |first, band| {
+                    for (i, v) in band.iter_mut().enumerate() {
+                        *v += sigma * stream.at((first + i) as u64).standard_normal();
+                    }
+                });
             }
         }
         out
     }
 
-    fn charge_macs(&self, ledger: &mut EnergyLedger, elapsed: &mut Seconds, macs: u64, snr: SnrDb) {
+    fn charge_macs(&mut self, macs: u64, snr: SnrDb) {
         let scale = DampingConfig::from_snr(snr).energy_scale();
-        ledger.processing += MAC_ENERGY_40DB * (macs as f64 * scale);
-        ledger.macs += macs;
-        *elapsed += MAC_SETTLE_TIME_40DB * (macs as f64 / self.columns);
+        self.ledger.processing += MAC_ENERGY_40DB * (macs as f64 * scale);
+        self.ledger.macs += macs;
+        self.elapsed += MAC_SETTLE_TIME_40DB * (macs as f64 / self.columns);
     }
 
-    fn charge_writes(&self, ledger: &mut EnergyLedger, writes: u64, snr: SnrDb) {
+    fn charge_writes(&mut self, writes: u64, snr: SnrDb) {
         let scale = DampingConfig::from_snr(snr).energy_scale();
-        ledger.memory += MEMORY_WRITE_ENERGY_40DB * (writes as f64 * scale);
-        ledger.writes += writes;
+        self.ledger.memory += MEMORY_WRITE_ENERGY_40DB * (writes as f64 * scale);
+        self.ledger.writes += writes;
     }
 
     /// Max pooling through the dynamic comparator, with real forced
-    /// decisions under metastability.
-    fn comparator_maxpool(
-        &mut self,
-        x: &Tensor,
-        geom: &PoolGeom,
-        ledger: &mut EnergyLedger,
-        elapsed: &mut Seconds,
-    ) -> Tensor {
+    /// decisions under metastability. Each output element is one noise site
+    /// drawing its comparator samples sequentially, so the output shards
+    /// freely over the analog thread budget; per-band decision/forced counts
+    /// are summed in band order and energy is charged as a
+    /// `count × per-decision` product, keeping the ledger independent of the
+    /// thread count.
+    fn comparator_maxpool(&mut self, x: &Tensor, geom: &PoolGeom) -> Tensor {
+        let stream = self.next_stream();
         // Gain staging: map the plane's max magnitude to the rail swing.
         let max_abs = x.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
         let volts_per_unit = if max_abs > 0.0 {
@@ -334,87 +474,160 @@ impl Executor {
             1.0
         };
         let (in_h, in_w) = (geom.in_h(), geom.in_w());
+        let (out_h, out_w) = (geom.out_h(), geom.out_w());
+        let plane_out = out_h * out_w;
         let src = x.as_slice();
-        let mut out = Vec::with_capacity(geom.out_len());
-        let energy_before = self.comparator.energy_consumed();
-        let decisions_before = self.comparator.decisions_made();
-        for c in 0..geom.channels() {
-            let plane = c * in_h * in_w;
-            for oy in 0..geom.out_h() {
-                for ox in 0..geom.out_w() {
-                    // The column pipeline runs a fixed comparison schedule:
-                    // every window tap is compared, with out-of-bounds
-                    // (padding) taps presenting the lower rail. This keeps
-                    // the per-output decision count at window²−1 regardless
-                    // of border effects, matching the analytic model.
-                    let mut best: Option<f32> = None;
-                    for ky in 0..geom.window() {
-                        for kx in 0..geom.window() {
-                            let y = (oy * geom.stride() + ky) as isize - geom.pad() as isize;
-                            let xx = (ox * geom.stride() + kx) as isize - geom.pad() as isize;
-                            let v = if y < 0 || y >= in_h as isize || xx < 0 || xx >= in_w as isize
-                            {
-                                -max_abs
-                            } else {
-                                src[plane + y as usize * in_w + xx as usize]
-                            };
-                            best = Some(match best {
-                                None => v,
-                                Some(m) => {
-                                    let d = self.comparator.compare(
-                                        f64::from(v) * volts_per_unit,
-                                        f64::from(m) * volts_per_unit,
-                                        &mut self.rng,
-                                    );
-                                    if d.a_greater {
-                                        v
-                                    } else {
-                                        m
-                                    }
+        let mut out = vec![0.0f32; geom.out_len()];
+        let stats = shard_mut(&mut out, self.analog_threads, 1, |first, band| {
+            let mut comparator = Comparator::new();
+            for (i, slot) in band.iter_mut().enumerate() {
+                let idx = first + i;
+                let (c, rem) = (idx / plane_out, idx % plane_out);
+                let (oy, ox) = (rem / out_w, rem % out_w);
+                let plane = c * in_h * in_w;
+                let mut site = stream.at(idx as u64);
+                // The column pipeline runs a fixed comparison schedule:
+                // every window tap is compared, with out-of-bounds
+                // (padding) taps presenting the lower rail. This keeps
+                // the per-output decision count at window²−1 regardless
+                // of border effects, matching the analytic model.
+                let mut best: Option<f32> = None;
+                for ky in 0..geom.window() {
+                    for kx in 0..geom.window() {
+                        let y = (oy * geom.stride() + ky) as isize - geom.pad() as isize;
+                        let xx = (ox * geom.stride() + kx) as isize - geom.pad() as isize;
+                        let v = if y < 0 || y >= in_h as isize || xx < 0 || xx >= in_w as isize {
+                            -max_abs
+                        } else {
+                            src[plane + y as usize * in_w + xx as usize]
+                        };
+                        best = Some(match best {
+                            None => v,
+                            Some(m) => {
+                                let d = comparator.compare(
+                                    f64::from(v) * volts_per_unit,
+                                    f64::from(m) * volts_per_unit,
+                                    &mut site,
+                                );
+                                if d.a_greater {
+                                    v
+                                } else {
+                                    m
                                 }
-                            });
-                        }
+                            }
+                        });
                     }
-                    out.push(best.unwrap_or(0.0));
                 }
+                *slot = best.unwrap_or(0.0);
             }
-        }
-        let decisions = self.comparator.decisions_made() - decisions_before;
-        ledger.pooling += self.comparator.energy_consumed() - energy_before;
-        ledger.comparisons += decisions;
-        *elapsed += COMPARATOR_DECISION_TIME * (decisions as f64 / self.columns);
-        Tensor::from_vec(out, &[geom.channels(), geom.out_h(), geom.out_w()])
-            .expect("pool output volume")
+            (comparator.decisions_made(), comparator.forced_decisions())
+        });
+        let decisions: u64 = stats.iter().map(|s| s.0).sum();
+        let forced: u64 = stats.iter().map(|s| s.1).sum();
+        self.forced += forced;
+        self.ledger.pooling += COMPARATOR_ENERGY * decisions as f64;
+        self.ledger.comparisons += decisions;
+        self.elapsed += COMPARATOR_DECISION_TIME * (decisions as f64 / self.columns);
+        Tensor::from_vec(out, &[geom.channels(), out_h, out_w]).expect("pool output volume")
     }
 
     /// The quantization module: normalizes features to the ADC full scale,
     /// converts each through the bit-accurate SAR model, and returns the
-    /// dequantized host-domain tensor plus the raw codes.
-    fn quantize(
-        &mut self,
-        x: &Tensor,
-        ledger: &mut EnergyLedger,
-        elapsed: &mut Seconds,
-    ) -> Result<(Tensor, Vec<u32>)> {
-        let bits = self.program.adc_bits;
-        let mut adc = SarAdc::new(bits)?;
+    /// dequantized host-domain tensor plus the raw codes. Each feature is
+    /// one noise site; bands run on per-worker ADC clones and energy is the
+    /// `conversions × per-conversion` product.
+    fn quantize(&mut self, bits: u32, x: &Tensor) -> Result<(Tensor, Vec<u32>)> {
+        let stream = self.next_stream();
+        let template = SarAdc::new(bits)?;
         // Gain staging: features (post-rectification, ≥ 0) map onto the ADC
         // full scale; negative residues clip at the lower rail.
         let vmax = x.iter().fold(0.0f32, |m, &v| m.max(v));
         let full_scale = if vmax > 0.0 { f64::from(vmax) } else { 1.0 };
-        let mut codes = Vec::with_capacity(x.len());
-        let mut deq = Vec::with_capacity(x.len());
-        for &v in x.iter() {
-            let conv = adc.convert(f64::from(v.max(0.0)) / full_scale, &mut self.rng);
-            codes.push(conv.code);
-            deq.push((conv.reconstruct() * full_scale) as f32);
+        let n = x.len();
+        let src = x.as_slice();
+        let mut codes = vec![0u32; n];
+        let mut deq = vec![0.0f32; n];
+        let convert_band = |first: usize, cband: &mut [u32], dband: &mut [f32]| {
+            let mut adc = template.clone();
+            for (i, (code, d)) in cband.iter_mut().zip(dband.iter_mut()).enumerate() {
+                let idx = first + i;
+                let mut site = stream.at(idx as u64);
+                let conv = adc.convert(f64::from(src[idx].max(0.0)) / full_scale, &mut site);
+                *code = conv.code;
+                *d = (conv.reconstruct() * full_scale) as f32;
+            }
+        };
+        let threads = effective_threads(self.analog_threads, n);
+        if threads <= 1 {
+            convert_band(0, &mut codes, &mut deq);
+        } else {
+            let chunk = n.div_ceil(threads);
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = codes
+                    .chunks_mut(chunk)
+                    .zip(deq.chunks_mut(chunk))
+                    .enumerate()
+                    .map(|(t, (cband, dband))| {
+                        let convert_band = &convert_band;
+                        scope.spawn(move |_| convert_band(t * chunk, cband, dband))
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().expect("quantize worker panicked");
+                }
+            })
+            .expect("quantize thread scope");
         }
-        ledger.quantization += adc.energy_consumed();
-        ledger.conversions += adc.conversions_performed();
-        ledger.readout_bits += adc.conversions_performed() * u64::from(bits);
-        *elapsed += adc.time_per_conversion() * (x.len() as f64 / self.columns);
+        self.ledger.quantization += template.energy_per_conversion() * n as f64;
+        self.ledger.conversions += n as u64;
+        self.ledger.readout_bits += n as u64 * u64::from(bits);
+        self.elapsed += template.time_per_conversion() * (n as f64 / self.columns);
         Ok((Tensor::from_vec(deq, x.dims())?, codes))
     }
+}
+
+/// The thread count a stage of `sites` elements actually uses under a
+/// `threads` budget: serial below [`ANALOG_PARALLEL_MIN`], never more than
+/// one site per worker.
+fn effective_threads(threads: usize, sites: usize) -> usize {
+    if sites < ANALOG_PARALLEL_MIN {
+        1
+    } else {
+        threads.max(1).min(sites)
+    }
+}
+
+/// Runs `f` over bands of `data` whose starts are multiples of `align`
+/// (pair-aligned sharding for the batched normal fills), in parallel when
+/// the thread budget and site count warrant it. Band results return in band
+/// order, so integer-stat merges do not depend on the thread count.
+fn shard_mut<T, R, F>(data: &mut [T], threads: usize, align: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut [T]) -> R + Sync,
+{
+    let n = data.len();
+    let threads = effective_threads(threads, n);
+    if threads <= 1 {
+        return vec![f(0, data)];
+    }
+    let chunk = n.div_ceil(threads).div_ceil(align).max(1) * align;
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = data
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(t, band)| {
+                let f = &f;
+                scope.spawn(move |_| f(t * chunk, band))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("analog worker panicked"))
+            .collect()
+    })
+    .expect("analog thread scope")
 }
 
 /// Clips at the positive rail (max observed swing under unity gain staging)
@@ -516,6 +729,7 @@ mod tests {
     use super::*;
     use crate::compile::{compile, CompileOptions, WeightBank};
     use redeye_nn::{build_network, quantize_network_weights, zoo, WeightInit};
+    use redeye_tensor::Rng;
 
     /// Builds a micronet prefix program plus the matching digital reference
     /// network (with identically quantized weights).
@@ -624,6 +838,83 @@ mod tests {
         let b = Executor::new(program, 42).execute(&input).unwrap();
         assert_eq!(a.features, b.features);
         assert_eq!(a.codes, b.codes);
+    }
+
+    #[test]
+    fn successive_frames_draw_fresh_noise() {
+        let (program, _) = micronet_program(30.0, 10);
+        let mut exec = Executor::new(program, 11);
+        let input = Tensor::full(&[3, 32, 32], 0.5);
+        let a = exec.execute(&input).unwrap();
+        let b = exec.execute(&input).unwrap();
+        assert_ne!(
+            a.features, b.features,
+            "frame substreams must decorrelate identical inputs"
+        );
+    }
+
+    #[test]
+    fn output_is_bit_identical_across_analog_threads() {
+        // A wide micronet so the conv planes (16×32×32) and pool planes
+        // (16×16×16 = ANALOG_PARALLEL_MIN) actually engage the sharded
+        // paths rather than falling back to serial.
+        let spec = zoo::micronet(16, 10);
+        let prefix = spec.prefix_through("pool3").unwrap();
+        let mut rng = Rng::seed_from(23);
+        let mut net = build_network(&prefix, WeightInit::HeNormal, &mut rng).unwrap();
+        let mut bank = WeightBank::from_network(&mut net);
+        let opts = CompileOptions {
+            snr: SnrDb::new(35.0),
+            adc_bits: 8,
+            ..CompileOptions::default()
+        };
+        let program = compile(&prefix, &mut bank, &opts).unwrap();
+        let input = Tensor::uniform(&[3, 32, 32], 0.0, 1.0, &mut rng);
+        for mode in [NoiseMode::Batched, NoiseMode::Scalar] {
+            let mut reference: Option<ExecutionResult> = None;
+            for threads in [1usize, 2, 4] {
+                let mut exec = Executor::new(program.clone(), 77);
+                exec.set_analog_threads(threads);
+                exec.set_noise_mode(mode);
+                let got = exec.execute(&input).unwrap();
+                if let Some(want) = &reference {
+                    assert_eq!(want.features, got.features, "{mode:?} @ {threads} threads");
+                    assert_eq!(want.codes, got.codes, "{mode:?} @ {threads} threads");
+                    assert!(
+                        want.ledger == got.ledger,
+                        "{mode:?} @ {threads} threads: ledger diverged"
+                    );
+                    assert_eq!(
+                        want.elapsed.value(),
+                        got.elapsed.value(),
+                        "{mode:?} @ {threads} threads"
+                    );
+                    assert_eq!(
+                        want.forced_decisions, got.forced_decisions,
+                        "{mode:?} @ {threads} threads"
+                    );
+                } else {
+                    reference = Some(got);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn noise_modes_are_distinct_but_comparable() {
+        // The two sampling strategies assign different (deterministic)
+        // values per site, so features differ bit-wise — but both realize
+        // the same noise distribution, so the deterministic ledger agrees.
+        let (program, _) = micronet_program(30.0, 10);
+        let input = Tensor::full(&[3, 32, 32], 0.5);
+        let mut scalar_exec = Executor::new(program.clone(), 42);
+        scalar_exec.set_noise_mode(NoiseMode::Scalar);
+        let scalar = scalar_exec.execute(&input).unwrap();
+        let mut batched_exec = Executor::new(program, 42);
+        batched_exec.set_noise_mode(NoiseMode::Batched);
+        let batched = batched_exec.execute(&input).unwrap();
+        assert_ne!(scalar.features, batched.features);
+        assert!(scalar.ledger == batched.ledger);
     }
 
     #[test]

@@ -60,7 +60,7 @@ pub use compile::{compile, CompileOptions, VerifyPolicy, WeightBank};
 pub use energy::EnergyLedger;
 pub use error::CoreError;
 pub use estimate::{EnergyBreakdown, Estimate, NoisePlan, RedEyeConfig, TimingBreakdown};
-pub use executor::{ExecutionResult, Executor};
+pub use executor::{ExecutionResult, Executor, NoiseMode};
 pub use partition::{partition_googlenet, Depth};
 pub use redeye_verify::{
     verify, verify_with_limits, DiagClass, Diagnostic, Instruction, Program, Report,

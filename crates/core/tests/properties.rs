@@ -2,7 +2,12 @@
 
 use proptest::prelude::*;
 use redeye_analog::{ProcessCorner, SnrDb};
-use redeye_core::{estimate, Depth, FeatureSram, Program, RedEyeConfig};
+use redeye_core::{
+    compile, estimate, CompileOptions, Depth, Executor, FeatureSram, NoiseMode, Program,
+    RedEyeConfig, WeightBank,
+};
+use redeye_nn::{build_network, zoo, WeightInit};
+use redeye_tensor::{Rng, Tensor};
 
 fn config(snr: f64, bits: u32) -> RedEyeConfig {
     RedEyeConfig {
@@ -100,6 +105,54 @@ proptest! {
         let json = serde_json::to_string(&program).unwrap();
         let back: Program = serde_json::from_str(&json).unwrap();
         prop_assert_eq!(back, program);
+    }
+
+    /// Executor output is a pure function of the seed: features, codes,
+    /// energy ledger, frame time, and forced-decision counts are
+    /// bit-identical across analog thread budgets 1/2/4 for random programs
+    /// from the zoo, under both Gaussian sampling strategies.
+    #[test]
+    fn executor_invariant_under_analog_resharding(
+        base_c in 4usize..9,
+        cut_idx in 0usize..3,
+        use_inception in 0u32..2,
+        snr in 25.0f64..60.0,
+        bits in 3u32..10,
+        seed in 0u64..1_000_000,
+        batched in 0u32..2,
+    ) {
+        let (spec, cut) = if use_inception == 1 {
+            (zoo::tiny_inception(10), "pool2")
+        } else {
+            (zoo::micronet(base_c, 10), ["pool1", "pool2", "pool3"][cut_idx])
+        };
+        let prefix = spec.prefix_through(cut).unwrap();
+        let mut rng = Rng::seed_from(seed ^ 0xA5A5);
+        let mut net = build_network(&prefix, WeightInit::HeNormal, &mut rng).unwrap();
+        let mut bank = WeightBank::from_network(&mut net);
+        let opts = CompileOptions {
+            snr: SnrDb::new(snr),
+            adc_bits: bits,
+            ..CompileOptions::default()
+        };
+        let program = compile(&prefix, &mut bank, &opts).unwrap();
+        let input = Tensor::uniform(&[3, 32, 32], 0.0, 1.0, &mut rng);
+        let mode = if batched == 1 { NoiseMode::Batched } else { NoiseMode::Scalar };
+        let run = |threads: usize| {
+            let mut exec = Executor::new(program.clone(), seed);
+            exec.set_analog_threads(threads);
+            exec.set_noise_mode(mode);
+            exec.execute(&input).unwrap()
+        };
+        let want = run(1);
+        for threads in [2usize, 4] {
+            let got = run(threads);
+            prop_assert_eq!(&want.features, &got.features, "{} threads", threads);
+            prop_assert_eq!(&want.codes, &got.codes, "{} threads", threads);
+            prop_assert!(want.ledger == got.ledger, "{} threads: ledger diverged", threads);
+            prop_assert_eq!(want.elapsed.value(), got.elapsed.value());
+            prop_assert_eq!(want.forced_decisions, got.forced_decisions);
+        }
     }
 
     /// Corner factors move energy and timing in opposite directions for

@@ -16,6 +16,8 @@ pub struct GaussianNoise {
     name: String,
     snr: SnrDb,
     rng: Rng,
+    /// Reusable buffer for batched sampling; grows to the largest plane.
+    scratch: Vec<f32>,
 }
 
 impl GaussianNoise {
@@ -25,6 +27,7 @@ impl GaussianNoise {
             name: name.into(),
             snr,
             rng,
+            scratch: Vec::new(),
         }
     }
 
@@ -46,8 +49,12 @@ impl Layer for GaussianNoise {
         }
         let sigma = rms / self.snr.amplitude_ratio() as f32;
         let mut out = input.clone();
-        for v in out.iter_mut() {
-            *v += sigma * self.rng.standard_normal();
+        // Batched sampling: bit-identical to per-element standard_normal()
+        // draws, but amortizes the Box–Muller transform over the plane.
+        self.scratch.resize(out.len(), 0.0);
+        self.rng.fill_standard_normal(&mut self.scratch);
+        for (v, z) in out.iter_mut().zip(&self.scratch) {
+            *v += sigma * z;
         }
         Ok(out)
     }

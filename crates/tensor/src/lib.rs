@@ -31,6 +31,7 @@ mod conv;
 mod error;
 mod gemm;
 mod linalg;
+mod noise_stream;
 mod ops;
 mod rng;
 mod shape;
@@ -41,6 +42,7 @@ pub use conv::{col2im, im2col, im2col_into, ConvGeom, PoolGeom, RoundMode};
 pub use error::TensorError;
 pub use gemm::{gemm, gemm_into};
 pub use linalg::{matmul, matmul_naive, matmul_transpose_a, matmul_transpose_b};
+pub use noise_stream::{NoiseSource, NoiseStream, SiteRng};
 pub use rng::Rng;
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -5,6 +5,7 @@
 //! this one wrapper so every experiment is reproducible from a single `u64`
 //! seed.
 
+use crate::noise_stream::NoiseSource;
 use rand::rngs::StdRng;
 use rand::{Rng as _, SeedableRng};
 
@@ -87,11 +88,55 @@ impl Rng {
         mean + std * self.standard_normal()
     }
 
+    /// A standard-normal sample computed end-to-end in `f64`.
+    ///
+    /// Unlike [`Rng::standard_normal`], the uniforms are drawn at 53-bit
+    /// precision and nothing narrows through `f32`, so the tails are not
+    /// granular at the `~1e-7` level — this is what large-rate Poisson
+    /// approximation needs. Does not touch the `f32` Box–Muller spare.
+    pub fn standard_normal_f64(&mut self) -> f64 {
+        let u1: f64 = self.inner.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = self.inner.gen::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Fills `dst` with standard-normal samples, bit-identical to (but
+    /// faster than) calling [`Rng::standard_normal`] once per element.
+    ///
+    /// The batched loop consumes Box–Muller pairs directly instead of going
+    /// through the one-element spare cache; the spare is honored on entry
+    /// and left in the same state the scalar calls would leave it in, so
+    /// scalar and batched draws can be freely interleaved.
+    pub fn fill_standard_normal(&mut self, dst: &mut [f32]) {
+        let mut i = 0usize;
+        if i < dst.len() {
+            if let Some(z) = self.spare_normal.take() {
+                dst[i] = z;
+                i += 1;
+            }
+        }
+        while i + 1 < dst.len() {
+            let u1: f32 = self.inner.gen::<f32>().max(f32::MIN_POSITIVE);
+            let u2: f32 = self.inner.gen::<f32>();
+            let r = (-2.0 * u1.ln()).sqrt();
+            let (sin, cos) = (2.0 * std::f32::consts::PI * u2).sin_cos();
+            dst[i] = r * cos;
+            dst[i + 1] = r * sin;
+            i += 2;
+        }
+        if i < dst.len() {
+            dst[i] = self.standard_normal();
+        }
+    }
+
     /// A Poisson sample with rate `lambda`.
     ///
     /// Uses Knuth's product method for small rates and a normal approximation
     /// for `lambda > 64`, which is accurate to well under the shot-noise
-    /// magnitudes the sensor model cares about.
+    /// magnitudes the sensor model cares about. The approximation runs in
+    /// `f64` end-to-end ([`Rng::standard_normal_f64`]): narrowing the normal
+    /// through `f32` would quantize the tail at high photon counts and bias
+    /// the simulated shot noise.
     ///
     /// # Panics
     ///
@@ -105,7 +150,7 @@ impl Rng {
             return 0;
         }
         if lambda > 64.0 {
-            let z = f64::from(self.standard_normal());
+            let z = self.standard_normal_f64();
             let sample = lambda + lambda.sqrt() * z;
             return sample.max(0.0).round() as u64;
         }
@@ -137,6 +182,20 @@ impl Rng {
             let j = self.index(i + 1);
             items.swap(i, j);
         }
+    }
+}
+
+impl NoiseSource for Rng {
+    fn standard_normal(&mut self) -> f32 {
+        Rng::standard_normal(self)
+    }
+
+    fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        Rng::uniform(self, lo, hi)
+    }
+
+    fn chance(&mut self, p: f32) -> bool {
+        Rng::chance(self, p)
     }
 }
 
@@ -208,6 +267,54 @@ mod tests {
         let mut rng = Rng::seed_from(7);
         assert!(!rng.chance(0.0));
         assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    fn fill_matches_scalar_draws_including_spare() {
+        let mut scalar = Rng::seed_from(40);
+        let mut batched = Rng::seed_from(40);
+        // Park a spare in both generators, then draw odd- and even-length
+        // batches: the streams must stay in lockstep throughout.
+        assert_eq!(scalar.standard_normal(), batched.standard_normal());
+        for len in [5usize, 4, 1, 0, 7] {
+            let want: Vec<f32> = (0..len).map(|_| scalar.standard_normal()).collect();
+            let mut got = vec![0.0f32; len];
+            batched.fill_standard_normal(&mut got);
+            assert_eq!(want, got, "len {len}");
+        }
+        assert_eq!(scalar.uniform(0.0, 1.0), batched.uniform(0.0, 1.0));
+    }
+
+    #[test]
+    fn standard_normal_f64_moments() {
+        let mut rng = Rng::seed_from(41);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.standard_normal_f64()).collect();
+        let mean = samples.iter().sum::<f64>() / f64::from(n);
+        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / f64::from(n);
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn large_lambda_poisson_resolves_fine_tails() {
+        // With the f64 path, samples around a large λ take many distinct
+        // values near ±4σ, not a handful of f32-quantized steps.
+        let mut rng = Rng::seed_from(42);
+        let lambda = 1e12f64;
+        let sigma = lambda.sqrt();
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..256 {
+            let s = rng.poisson(lambda);
+            distinct.insert(s);
+            let z = (s as f64 - lambda) / sigma;
+            assert!(z.abs() < 8.0, "sample {s} implausibly far from λ");
+        }
+        assert!(
+            distinct.len() > 250,
+            "only {} distinct values",
+            distinct.len()
+        );
     }
 
     #[test]
