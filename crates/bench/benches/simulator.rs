@@ -4,7 +4,8 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use redeye_analog::{Comparator, DampingConfig, Mac, MacConfig, SarAdc, SnrDb, TunableCap};
 use redeye_core::{
-    compile, estimate, CompileOptions, Depth, Executor, NoiseMode, RedEyeConfig, WeightBank,
+    compile, estimate, BatchExecutor, CompileOptions, Depth, Executor, NoiseMode, RedEyeConfig,
+    WeightBank,
 };
 use redeye_nn::{build_network, summarize, zoo, WeightInit};
 use redeye_system::scenario;
@@ -72,6 +73,47 @@ fn bench_analog_pipeline(c: &mut Criterion) {
                 BatchSize::SmallInput,
             );
         });
+    }
+}
+
+/// Cross-frame throughput: a short frame stream through the serial
+/// per-frame executor vs the batched persistent-pool engine (the
+/// BENCH_throughput.json axes, criterion-sized). The pool is built once
+/// outside the timing loop — its persistence is the thing being measured.
+fn bench_frame_throughput(c: &mut Criterion) {
+    let spec = zoo::micronet(8, 10);
+    let prefix = spec.prefix_through("pool3").unwrap();
+    let mut rng = Rng::seed_from(17);
+    let mut net = build_network(&prefix, WeightInit::HeNormal, &mut rng).unwrap();
+    let mut bank = WeightBank::from_network(&mut net);
+    let program = compile(&prefix, &mut bank, &CompileOptions::default()).unwrap();
+    let frames: Vec<Tensor> = (0..4)
+        .map(|_| Tensor::uniform(&[3, 32, 32], 0.0, 1.0, &mut rng))
+        .collect();
+
+    let mut serial = Executor::new(program.clone(), 7);
+    serial.execute(&frames[0]).unwrap();
+    c.bench_function("executor/frame_throughput/serial", |b| {
+        b.iter(|| {
+            serial.seek_frame(0);
+            for frame in &frames {
+                serial.execute(frame).unwrap();
+            }
+        });
+    });
+
+    for workers in [1usize, 2] {
+        let mut batch = BatchExecutor::new(program.clone(), 7, workers).unwrap();
+        batch.execute_batch(&frames).unwrap();
+        c.bench_function(
+            &format!("executor/frame_throughput/batch_{workers}w"),
+            |b| {
+                b.iter(|| {
+                    batch.seek_frame(0);
+                    batch.execute_batch(&frames).unwrap()
+                });
+            },
+        );
     }
 }
 
@@ -162,6 +204,7 @@ criterion_group!(
     bench_scenarios,
     bench_executor,
     bench_analog_pipeline,
+    bench_frame_throughput,
     bench_circuits,
     bench_ablation,
     bench_gemm,

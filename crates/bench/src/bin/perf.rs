@@ -1,21 +1,30 @@
 //! Performance measurement of the simulation hot path.
 //!
-//! Times the packed GEMM engine against the retained naive reference at the
-//! paper-relevant square sizes, one MicroNet forward epoch, and the
-//! frame-parallel accuracy sweep at 1 vs 4 worker threads (written to
-//! `BENCH_gemm.json`); and the analog executor pipeline — Gaussian noise
-//! kernels (scalar Box–Muller vs batched polar) plus whole GoogLeNet frames at
-//! Depth1/Depth3/Depth5 across analog thread budgets (written to
-//! `BENCH_analog.json`). All rows are `{name, wall_ms, threads}`.
+//! Three sections, each with its own JSON report:
+//!
+//! - **GEMM** (`BENCH_gemm.json`): the packed GEMM engine against the
+//!   retained naive reference at the paper-relevant square sizes, one
+//!   MicroNet forward epoch, and the frame-parallel accuracy sweep at 1 vs
+//!   4 worker threads.
+//! - **Analog** (`BENCH_analog.json`): Gaussian noise kernels (scalar
+//!   Box–Muller vs batched polar) plus whole GoogLeNet frames at
+//!   Depth1/Depth3/Depth5 across analog thread budgets.
+//! - **Throughput** (`BENCH_throughput.json`): sustained frames/sec over a
+//!   frame stream — the serial per-frame path against the batched
+//!   persistent-worker-pool engine at worker counts 1/2/4, per depth.
+//!
+//! GEMM/analog rows are `{name, wall_ms, threads}`; throughput rows are
+//! `{name, frames, wall_ms, fps, workers}`.
 //!
 //! Usage: `cargo run --release -p redeye-bench --bin perf [-- FLAGS]`
 //!
-//! - `--analog-only`: skip the GEMM/epoch/sweep section (and its JSON).
+//! - `--analog-only`: run only the analog section.
+//! - `--throughput`: run only the throughput section.
 //! - `--smoke`: CI-sized run — Depth1 only, fewer reps, smaller kernels.
 
-use redeye_bench::workload;
-use redeye_core::{compile, CompileOptions, Depth, Executor, NoiseMode, Program, WeightBank};
-use redeye_nn::{build_network, zoo, WeightInit};
+use redeye_bench::workload::{self, DepthScenario};
+use redeye_core::{BatchExecutor, Depth, Executor, NoiseMode};
+use redeye_nn::{build_network, zoo, Network, NetworkSpec, WeightInit};
 use redeye_sim::{extract_params, instrument, AccuracyHarness, InstrumentOptions};
 use redeye_tensor::{gemm, matmul_naive, NoiseSource, NoiseStream, Rng, Tensor, Workspace};
 use serde::Serialize;
@@ -27,6 +36,17 @@ struct Row {
     name: String,
     wall_ms: f64,
     threads: usize,
+}
+
+/// One frame-throughput observation: `fps` is the headline
+/// continuous-vision metric, `wall_ms` the batch wall time behind it.
+#[derive(Serialize)]
+struct ThroughputRow {
+    name: String,
+    frames: usize,
+    wall_ms: f64,
+    fps: f64,
+    workers: usize,
 }
 
 /// Wall-clock milliseconds of the best of `reps` runs (best-of filters
@@ -89,10 +109,18 @@ fn bench_gemm(rows: &mut Vec<Row>, size: usize, threads: usize) {
     });
 }
 
-fn bench_micronet_epoch(rows: &mut Vec<Row>) {
+/// The GEMM-section scenario builder: the micronet spec plus a freshly
+/// initialized network (accuracy numbers are irrelevant to perf, so
+/// training is skipped — the per-frame work is identical).
+fn micronet_scenario(seed: u64) -> (NetworkSpec, Network, Rng) {
     let spec = zoo::micronet(8, workload::CLASSES);
-    let mut rng = Rng::seed_from(3);
-    let mut net = build_network(&spec, WeightInit::HeNormal, &mut rng).expect("micronet builds");
+    let mut rng = Rng::seed_from(seed);
+    let net = build_network(&spec, WeightInit::HeNormal, &mut rng).expect("micronet builds");
+    (spec, net, rng)
+}
+
+fn bench_micronet_epoch(rows: &mut Vec<Row>) {
+    let (_, mut net, mut rng) = micronet_scenario(3);
     net.set_training(false);
     let inputs: Vec<Tensor> = (0..64)
         .map(|_| Tensor::uniform(&[3, 32, 32], 0.0, 1.0, &mut rng))
@@ -115,11 +143,7 @@ fn bench_micronet_epoch(rows: &mut Vec<Row>) {
 }
 
 fn bench_accuracy_sweep(rows: &mut Vec<Row>) {
-    // Accuracy numbers are irrelevant here, so skip training: instrument a
-    // freshly initialized micronet — the per-frame work is identical.
-    let spec = zoo::micronet(8, workload::CLASSES);
-    let mut rng = Rng::seed_from(9);
-    let mut net = build_network(&spec, WeightInit::HeNormal, &mut rng).expect("micronet builds");
+    let (spec, mut net, _) = micronet_scenario(9);
     let params = extract_params(&mut net);
     let examples = workload::validation_set(96, 11);
 
@@ -212,26 +236,9 @@ fn bench_noise_kernels(rows: &mut Vec<Row>, smoke: bool) {
     }
 }
 
-/// Compiles the GoogLeNet prefix for `depth` and builds a matching input.
-fn analog_program(depth: Depth) -> (Program, Tensor) {
-    let spec = zoo::googlenet();
-    let prefix = spec.prefix_through(depth.cut_layer()).expect("cut exists");
-    let mut rng = Rng::seed_from(41);
-    let mut net = build_network(&prefix, WeightInit::HeNormal, &mut rng).expect("googlenet builds");
-    let mut bank = WeightBank::from_network(&mut net);
-    let program = compile(&prefix, &mut bank, &CompileOptions::default()).expect("compiles");
-    let input = Tensor::uniform(&[3, 227, 227], 0.0, 1.0, &mut rng);
-    (program, input)
-}
-
 /// Times whole executor frames per depth: the scalar noise baseline against
 /// the batched path, then batched across analog thread budgets.
 fn bench_analog_frames(rows: &mut Vec<Row>, smoke: bool) {
-    let depths: &[Depth] = if smoke {
-        &[Depth::D1]
-    } else {
-        &[Depth::D1, Depth::D3, Depth::D5]
-    };
     let reps = if smoke { 1 } else { 4 };
     let variants = [
         (NoiseMode::Scalar, 1usize),
@@ -239,8 +246,8 @@ fn bench_analog_frames(rows: &mut Vec<Row>, smoke: bool) {
         (NoiseMode::Batched, 2),
         (NoiseMode::Batched, 4),
     ];
-    for &depth in depths {
-        let (program, input) = analog_program(depth);
+    for &depth in workload::perf_depths(smoke) {
+        let DepthScenario { program, input, .. } = DepthScenario::build(depth);
         let mut execs: Vec<Executor> = variants
             .iter()
             .map(|&(mode, threads)| {
@@ -283,12 +290,76 @@ fn bench_analog_frames(rows: &mut Vec<Row>, smoke: bool) {
     }
 }
 
+/// Sustained frames/sec over a frame stream per depth: the serial per-frame
+/// executor against the batched persistent-pool engine at 1/2/4 workers.
+///
+/// Every configuration runs the *same* frame stream from frame 0 (fresh
+/// executor per variant) so the noise workload is identical; the batch path
+/// is bit-identical to serial by construction, making this a pure dispatch
+/// overhead / scaling measurement.
+fn bench_throughput(rows: &mut Vec<ThroughputRow>, smoke: bool) {
+    let reps = if smoke { 1 } else { 2 };
+    for &depth in workload::perf_depths(smoke) {
+        let scenario = DepthScenario::build(depth);
+        let tag = scenario.tag();
+        let n = if smoke {
+            3
+        } else {
+            match depth {
+                Depth::D1 => 8,
+                Depth::D3 => 6,
+                _ => 4,
+            }
+        };
+        let frames: Vec<Tensor> = vec![scenario.input.clone(); n];
+
+        let push = |rows: &mut Vec<ThroughputRow>, suffix: &str, wall_ms: f64, workers| {
+            let fps = n as f64 / (wall_ms / 1e3);
+            println!("{tag} throughput {suffix}({workers}w): {n} frames in {wall_ms:.1} ms = {fps:.2} fps");
+            rows.push(ThroughputRow {
+                name: format!("throughput_{tag}_{suffix}"),
+                frames: n,
+                wall_ms,
+                fps,
+                workers,
+            });
+        };
+
+        // Serial baseline: the per-frame Executor loop the batch engine must
+        // not regress at matched work.
+        let serial_ms = {
+            let mut exec = Executor::new(scenario.program.clone(), 29);
+            exec.execute(&scenario.input).expect("warm frame");
+            best_of(reps, || {
+                exec.seek_frame(0);
+                for frame in &frames {
+                    exec.execute(frame).expect("frame");
+                }
+            })
+        };
+        push(rows, "serial", serial_ms, 1);
+
+        for workers in [1usize, 2, 4] {
+            let mut batch =
+                BatchExecutor::new(scenario.program.clone(), 29, workers).expect("pool builds");
+            // Warm every worker's workspace before timing.
+            batch.execute_batch(&frames).expect("warm batch");
+            let ms = best_of(reps, || {
+                batch.seek_frame(0);
+                batch.execute_batch(&frames).expect("batch");
+            });
+            push(rows, "batch", ms, workers);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let analog_only = args.iter().any(|a| a == "--analog-only");
+    let throughput_only = args.iter().any(|a| a == "--throughput");
 
-    if !analog_only {
+    if !analog_only && !throughput_only {
         let mut rows: Vec<Row> = Vec::new();
         bench_gemm(&mut rows, 256, 4);
         bench_gemm(&mut rows, 512, 4);
@@ -300,11 +371,25 @@ fn main() {
         println!("wrote BENCH_gemm.json ({} rows)", rows.len());
     }
 
-    let mut analog_rows: Vec<Row> = Vec::new();
-    bench_noise_kernels(&mut analog_rows, smoke);
-    bench_analog_frames(&mut analog_rows, smoke);
+    if !throughput_only {
+        let mut analog_rows: Vec<Row> = Vec::new();
+        bench_noise_kernels(&mut analog_rows, smoke);
+        bench_analog_frames(&mut analog_rows, smoke);
 
-    let json = serde_json::to_string_pretty(&analog_rows).expect("serialize rows");
-    std::fs::write("BENCH_analog.json", json).expect("write BENCH_analog.json");
-    println!("wrote BENCH_analog.json ({} rows)", analog_rows.len());
+        let json = serde_json::to_string_pretty(&analog_rows).expect("serialize rows");
+        std::fs::write("BENCH_analog.json", json).expect("write BENCH_analog.json");
+        println!("wrote BENCH_analog.json ({} rows)", analog_rows.len());
+    }
+
+    if !analog_only {
+        let mut throughput_rows: Vec<ThroughputRow> = Vec::new();
+        bench_throughput(&mut throughput_rows, smoke);
+
+        let json = serde_json::to_string_pretty(&throughput_rows).expect("serialize rows");
+        std::fs::write("BENCH_throughput.json", json).expect("write BENCH_throughput.json");
+        println!(
+            "wrote BENCH_throughput.json ({} rows)",
+            throughput_rows.len()
+        );
+    }
 }

@@ -8,6 +8,7 @@
 //! raw-input pipeline (gamma undone, Poisson shot noise, fixed-pattern
 //! noise). Energy curves always come from the exact GoogLeNet geometry.
 
+use redeye_core::{compile, CompileOptions, Depth, Program, WeightBank};
 use redeye_dataset::{sensor, SyntheticDataset};
 use redeye_nn::train::{evaluate, train_epoch, Example, Sgd};
 use redeye_nn::{build_network, zoo, NetworkSpec, WeightInit};
@@ -105,6 +106,61 @@ pub fn train_standin(train_n: usize, epochs: usize, seed: u64) -> TrainedModel {
         spec,
         params: extract_params(&mut net),
         clean_top1,
+    }
+}
+
+/// One executor benchmark scenario: the compiled GoogLeNet prefix for a
+/// partition depth plus a matching full-size raw input.
+///
+/// Shared by every depth-swept perf mode (whole-frame latency, batched
+/// throughput, criterion groups) so scenario construction exists exactly
+/// once.
+pub struct DepthScenario {
+    /// The partition depth this scenario cuts at.
+    pub depth: Depth,
+    /// The compiled GoogLeNet-prefix program.
+    pub program: Program,
+    /// A 3×227×227 input in the executor's expected geometry.
+    pub input: Tensor,
+}
+
+impl DepthScenario {
+    /// Compiles the GoogLeNet prefix for `depth` and builds a matching
+    /// input (deterministic: same weights and input every call).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the zoo GoogLeNet spec fails to build or compile — a
+    /// programming error, not a data condition.
+    pub fn build(depth: Depth) -> Self {
+        let spec = zoo::googlenet();
+        let prefix = spec.prefix_through(depth.cut_layer()).expect("cut exists");
+        let mut rng = Rng::seed_from(41);
+        let mut net =
+            build_network(&prefix, WeightInit::HeNormal, &mut rng).expect("googlenet builds");
+        let mut bank = WeightBank::from_network(&mut net);
+        let program = compile(&prefix, &mut bank, &CompileOptions::default()).expect("compiles");
+        let input = Tensor::uniform(&[3, 227, 227], 0.0, 1.0, &mut rng);
+        DepthScenario {
+            depth,
+            program,
+            input,
+        }
+    }
+
+    /// Lowercase row tag ("depth1", "depth3", …).
+    pub fn tag(&self) -> String {
+        self.depth.to_string().to_lowercase()
+    }
+}
+
+/// The depths a perf mode sweeps: Depth1 only under `--smoke` (CI-sized),
+/// Depth1/3/5 otherwise.
+pub fn perf_depths(smoke: bool) -> &'static [Depth] {
+    if smoke {
+        &[Depth::D1]
+    } else {
+        &[Depth::D1, Depth::D3, Depth::D5]
     }
 }
 

@@ -1,0 +1,503 @@
+//! Cross-frame batched execution over a persistent worker pool.
+//!
+//! RedEye is a *continuous* vision sensor: the interesting throughput
+//! metric is sustained frames/sec over a stream, not the latency of one
+//! frame. Within-frame parallelism is Amdahl-capped (the packed GEMM
+//! dominates frame time — see `BENCH_analog.json`), so the next scaling
+//! axis is *across* frames: [`BatchExecutor`] shares one immutable
+//! [`FrameEngine`] across a pool of persistent `std::thread` workers, each
+//! owning a pre-allocated [`FrameCtx`] whose conv workspace survives from
+//! batch to batch (steady-state frames perform no im2col/packing
+//! allocations on any worker).
+//!
+//! # Claim protocol
+//!
+//! Each batch publishes one [`Job`] to every worker: the shared engine, the
+//! input frames, the base frame number, and a shared atomic claim counter.
+//! Workers `fetch_add` the counter to claim frame indices until the batch
+//! is drained — a work-*claiming* queue rather than static striping, so a
+//! slow frame (a deeper inception branch, a cache-cold worker) never stalls
+//! frames behind it on the same worker.
+//!
+//! # Determinism
+//!
+//! Frame `base + i`'s noise is a pure function of `(seed, base + i,
+//! instruction, site, draw)` — never of the worker that ran it, the claim
+//! order, or the pool size. Results return through a channel in completion
+//! order and are re-sequenced into *frame order*; the merged ledger is
+//! folded frame-by-frame in that order (the same band-order discipline the
+//! column-parallel stages use), and the cumulative forced-comparator
+//! diagnostic is accumulated in frame order too. Batched output is
+//! therefore **bit-identical to the serial [`Executor`](crate::Executor)**
+//! for the same seed, at any worker count and any batch size.
+
+use crate::executor::{ExecutionResult, FrameCtx, FrameEngine, FrameOutput};
+use crate::{CoreError, EnergyLedger, Program, Result};
+use redeye_tensor::Tensor;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+/// One batch's worth of work, published to every worker.
+struct Job {
+    engine: Arc<FrameEngine>,
+    inputs: Arc<[Tensor]>,
+    /// Frame number of `inputs[0]`; frame `i` of the batch runs as
+    /// `base_frame + i`.
+    base_frame: u64,
+    /// Next unclaimed batch index; workers `fetch_add` to claim.
+    claim: Arc<AtomicUsize>,
+    /// Where claimed frames' outputs go, tagged with their batch index.
+    results: Sender<(usize, Result<FrameOutput>)>,
+}
+
+/// The result of one batch of frames.
+#[derive(Debug)]
+pub struct BatchResult {
+    /// Per-frame results in frame order, bit-identical to what the serial
+    /// executor would have produced for the same seed and frame numbers
+    /// (including the cumulative `forced_decisions` diagnostic).
+    pub frames: Vec<ExecutionResult>,
+    /// All per-frame ledgers merged in frame order.
+    pub ledger: EnergyLedger,
+}
+
+impl BatchResult {
+    /// Total frames in the batch.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the batch was empty.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+}
+
+/// Drives batches of frames through a persistent worker pool sharing one
+/// [`FrameEngine`].
+///
+/// Workers are spawned once at construction and live until the executor is
+/// dropped; each owns a pre-allocated [`FrameCtx`] that is reused across
+/// batches. Output is bit-identical to the serial
+/// [`Executor`](crate::Executor) for the same seed at any worker count and
+/// any batch size (see the module docs for why).
+///
+/// # Example
+///
+/// ```
+/// use redeye_core::{compile, BatchExecutor, CompileOptions, Executor, WeightBank};
+/// use redeye_nn::{build_network, zoo, WeightInit};
+/// use redeye_tensor::{Rng, Tensor};
+///
+/// # fn main() -> Result<(), redeye_core::CoreError> {
+/// let spec = zoo::micronet(4, 10);
+/// let prefix = spec.prefix_through("pool1").expect("micronet has pool1");
+/// let mut rng = Rng::seed_from(1);
+/// let mut net = build_network(&prefix, WeightInit::HeNormal, &mut rng)?;
+/// let mut bank = WeightBank::from_network(&mut net);
+/// let program = compile(&prefix, &mut bank, &CompileOptions::default())?;
+///
+/// let frames: Vec<Tensor> = (0..4).map(|_| Tensor::full(&[3, 32, 32], 0.5)).collect();
+/// let mut batch = BatchExecutor::new(program.clone(), 42, 2)?;
+/// let result = batch.execute_batch(&frames)?;
+///
+/// // Bit-identical to the serial executor, frame for frame.
+/// let mut serial = Executor::new(program, 42);
+/// for (i, frame) in frames.iter().enumerate() {
+///     let want = serial.execute(frame)?;
+///     assert_eq!(want.features, result.frames[i].features);
+///     assert_eq!(want.codes, result.frames[i].codes);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct BatchExecutor {
+    engine: Arc<FrameEngine>,
+    /// One job channel per worker; dropping them shuts the pool down.
+    senders: Vec<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+    /// Frame number the next batch starts at.
+    next_frame: u64,
+    /// Cumulative forced comparator decisions across all batches, folded
+    /// in frame order.
+    forced_total: u64,
+}
+
+impl BatchExecutor {
+    /// Creates a batch executor for `program` with a pool of `workers`
+    /// persistent threads (clamped to at least 1), seeding all stochastic
+    /// behaviour from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Verify`] if the program fails static
+    /// verification — checked eagerly here, before any worker spawns, so a
+    /// bad program never reaches the pool.
+    pub fn new(program: Program, seed: u64, workers: usize) -> Result<Self> {
+        Self::with_engine(FrameEngine::new(program, seed), workers)
+    }
+
+    /// Creates a batch executor around a pre-configured engine (noise mode
+    /// and per-frame thread knobs are set on the engine before handoff).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Verify`] if the engine's program fails static
+    /// verification.
+    pub fn with_engine(engine: FrameEngine, workers: usize) -> Result<Self> {
+        engine.verify()?;
+        let workers = workers.max(1);
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = mpsc::channel::<Job>();
+            senders.push(tx);
+            handles.push(std::thread::spawn(move || worker_loop(&rx)));
+        }
+        Ok(BatchExecutor {
+            engine: Arc::new(engine),
+            senders,
+            handles,
+            next_frame: 0,
+            forced_total: 0,
+        })
+    }
+
+    /// Number of persistent workers in the pool.
+    pub fn workers(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The shared engine (program, stream, knobs).
+    pub fn engine(&self) -> &FrameEngine {
+        &self.engine
+    }
+
+    /// The frame number the next batch's first frame will run as.
+    pub fn next_frame(&self) -> u64 {
+        self.next_frame
+    }
+
+    /// Repositions the frame counter so the next batch starts at frame `n`
+    /// — the batched counterpart of
+    /// [`Executor::seek_frame`](crate::Executor::seek_frame), with the same
+    /// caveat: the cumulative forced-decision diagnostic does not replay
+    /// skipped frames.
+    pub fn seek_frame(&mut self, n: u64) {
+        self.next_frame = n;
+    }
+
+    /// Executes `inputs` as frames `next_frame .. next_frame + inputs.len()`
+    /// across the worker pool and returns the results in frame order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadProgram`] if any input's shape does not match
+    /// the program (checked up front, before dispatch — the frame counter
+    /// does not advance), or the lowest-frame execution error otherwise.
+    pub fn execute_batch(&mut self, inputs: &[Tensor]) -> Result<BatchResult> {
+        for (i, input) in inputs.iter().enumerate() {
+            if input.dims() != self.engine.program().input {
+                return Err(CoreError::BadProgram {
+                    reason: format!(
+                        "batch frame {i}: input shape {:?} does not match program input {:?}",
+                        input.dims(),
+                        self.engine.program().input
+                    ),
+                });
+            }
+        }
+        if inputs.is_empty() {
+            return Ok(BatchResult {
+                frames: Vec::new(),
+                ledger: EnergyLedger::new(),
+            });
+        }
+        let n = inputs.len();
+        let inputs: Arc<[Tensor]> = inputs.to_vec().into();
+        let claim = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = mpsc::channel();
+        for sender in &self.senders {
+            sender
+                .send(Job {
+                    engine: Arc::clone(&self.engine),
+                    inputs: Arc::clone(&inputs),
+                    base_frame: self.next_frame,
+                    claim: Arc::clone(&claim),
+                    results: tx.clone(),
+                })
+                .expect("batch worker exited prematurely");
+        }
+        drop(tx);
+
+        // Re-sequence completion order into frame order. Every claimed
+        // index sends exactly one result, so exactly `n` messages arrive.
+        let mut slots: Vec<Option<Result<FrameOutput>>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (i, out) = rx.recv().expect("batch worker dropped a frame");
+            slots[i] = Some(out);
+        }
+
+        // Deterministic frame-order merge: cumulative forced tally and the
+        // f64 ledger fold both walk frames in order, so the totals are
+        // bit-identical to a serial run regardless of completion order.
+        let mut frames = Vec::with_capacity(n);
+        let mut ledger = EnergyLedger::new();
+        for slot in slots {
+            let out = slot.expect("claimed frame produced no result")?;
+            self.forced_total += out.forced;
+            ledger.merge(&out.ledger);
+            frames.push(ExecutionResult {
+                features: out.features,
+                codes: out.codes,
+                ledger: out.ledger,
+                elapsed: out.elapsed,
+                forced_decisions: self.forced_total,
+            });
+        }
+        self.next_frame += n as u64;
+        Ok(BatchResult { frames, ledger })
+    }
+}
+
+impl Drop for BatchExecutor {
+    fn drop(&mut self) {
+        // Closing the job channels ends each worker's recv loop.
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A pool worker: one persistent [`FrameCtx`] (the pre-allocated conv
+/// workspace) reused across every job and every claimed frame.
+fn worker_loop(jobs: &Receiver<Job>) {
+    let mut ctx = FrameCtx::new();
+    while let Ok(job) = jobs.recv() {
+        loop {
+            let i = job.claim.fetch_add(1, Ordering::Relaxed);
+            if i >= job.inputs.len() {
+                break;
+            }
+            let out = job
+                .engine
+                .run_frame(job.base_frame + i as u64, &job.inputs[i], &mut ctx);
+            if job.results.send((i, out)).is_err() {
+                // The batch owner bailed (an earlier frame errored); stop
+                // claiming and wait for the next job.
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile, CompileOptions, WeightBank};
+    use crate::{Executor, Instruction, NoiseMode};
+    use redeye_analog::SnrDb;
+    use redeye_nn::{build_network, zoo, WeightInit};
+    use redeye_tensor::Rng;
+
+    fn micronet_program(snr_db: f64, adc_bits: u32) -> Program {
+        let spec = zoo::micronet(8, 10);
+        let prefix = spec.prefix_through("pool3").unwrap();
+        let mut rng = Rng::seed_from(17);
+        let mut net = build_network(&prefix, WeightInit::HeNormal, &mut rng).unwrap();
+        let mut bank = WeightBank::from_network(&mut net);
+        let opts = CompileOptions {
+            weight_bits: 8,
+            snr: SnrDb::new(snr_db),
+            adc_bits,
+            ..CompileOptions::default()
+        };
+        compile(&prefix, &mut bank, &opts).unwrap()
+    }
+
+    fn frame_stream(n: usize, seed: u64) -> Vec<Tensor> {
+        let mut rng = Rng::seed_from(seed);
+        (0..n)
+            .map(|_| Tensor::uniform(&[3, 32, 32], 0.0, 1.0, &mut rng))
+            .collect()
+    }
+
+    /// Serial reference results plus the frame-order merged ledger.
+    fn serial_reference(
+        program: &Program,
+        seed: u64,
+        inputs: &[Tensor],
+    ) -> (Vec<ExecutionResult>, EnergyLedger) {
+        let mut exec = Executor::new(program.clone(), seed);
+        let mut merged = EnergyLedger::new();
+        let results: Vec<ExecutionResult> = inputs
+            .iter()
+            .map(|input| {
+                let r = exec.execute(input).unwrap();
+                merged.merge(&r.ledger);
+                r
+            })
+            .collect();
+        (results, merged)
+    }
+
+    fn assert_frames_eq(want: &[ExecutionResult], got: &[ExecutionResult], tag: &str) {
+        assert_eq!(want.len(), got.len(), "{tag}: frame count");
+        for (f, (w, g)) in want.iter().zip(got.iter()).enumerate() {
+            assert_eq!(w.features, g.features, "{tag}: frame {f} features");
+            assert_eq!(w.codes, g.codes, "{tag}: frame {f} codes");
+            assert!(w.ledger == g.ledger, "{tag}: frame {f} ledger diverged");
+            assert_eq!(
+                w.elapsed.value(),
+                g.elapsed.value(),
+                "{tag}: frame {f} elapsed"
+            );
+            assert_eq!(
+                w.forced_decisions, g.forced_decisions,
+                "{tag}: frame {f} forced tally"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_matches_serial_across_worker_counts() {
+        let program = micronet_program(35.0, 8);
+        let inputs = frame_stream(6, 99);
+        let (want, want_ledger) = serial_reference(&program, 7, &inputs);
+        for workers in [1usize, 2, 4] {
+            let mut batch = BatchExecutor::new(program.clone(), 7, workers).unwrap();
+            let result = batch.execute_batch(&inputs).unwrap();
+            assert_frames_eq(&want, &result.frames, &format!("{workers} workers"));
+            assert!(
+                result.ledger == want_ledger,
+                "{workers} workers: merged ledger diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_split_is_invariant() {
+        // Feeding the stream as batches of 1, 2, or all-at-once yields the
+        // same per-frame results: the frame counter carries across batches.
+        let program = micronet_program(35.0, 8);
+        let inputs = frame_stream(6, 41);
+        let (want, _) = serial_reference(&program, 3, &inputs);
+        for batch_size in [1usize, 2, 6] {
+            let mut batch = BatchExecutor::new(program.clone(), 3, 2).unwrap();
+            let mut got = Vec::new();
+            for chunk in inputs.chunks(batch_size) {
+                got.extend(batch.execute_batch(chunk).unwrap().frames);
+            }
+            assert_frames_eq(&want, &got, &format!("batch size {batch_size}"));
+        }
+    }
+
+    #[test]
+    fn scalar_noise_mode_matches_serial_too() {
+        let program = micronet_program(30.0, 6);
+        let inputs = frame_stream(4, 5);
+        let mut serial = Executor::new(program.clone(), 11);
+        serial.set_noise_mode(NoiseMode::Scalar);
+        let want: Vec<ExecutionResult> =
+            inputs.iter().map(|i| serial.execute(i).unwrap()).collect();
+        let mut engine = FrameEngine::new(program, 11);
+        engine.set_noise_mode(NoiseMode::Scalar);
+        let mut batch = BatchExecutor::with_engine(engine, 3).unwrap();
+        let result = batch.execute_batch(&inputs).unwrap();
+        assert_frames_eq(&want, &result.frames, "scalar mode");
+    }
+
+    #[test]
+    fn seek_frame_aligns_with_serial_stream() {
+        // Batch frames k.. match a serial executor that already ran k frames.
+        let program = micronet_program(35.0, 8);
+        let inputs = frame_stream(5, 77);
+        let mut serial = Executor::new(program.clone(), 21);
+        for input in &inputs[..2] {
+            serial.execute(input).unwrap();
+        }
+        let want: Vec<ExecutionResult> = inputs[2..]
+            .iter()
+            .map(|i| serial.execute(i).unwrap())
+            .collect();
+        let mut batch = BatchExecutor::new(program, 21, 2).unwrap();
+        batch.seek_frame(2);
+        let got = batch.execute_batch(&inputs[2..]).unwrap();
+        assert_eq!(batch.next_frame(), 5);
+        // Features/codes/ledgers match; the forced tally does not (serial
+        // accumulated frames 0-1 first), mirroring Executor::seek_frame.
+        for (w, g) in want.iter().zip(got.frames.iter()) {
+            assert_eq!(w.features, g.features);
+            assert_eq!(w.codes, g.codes);
+            assert!(w.ledger == g.ledger);
+        }
+    }
+
+    #[test]
+    fn merged_ledger_totals_match_per_frame_sum() {
+        let program = micronet_program(40.0, 4);
+        let inputs = frame_stream(4, 15);
+        let mut batch = BatchExecutor::new(program, 9, 2).unwrap();
+        let result = batch.execute_batch(&inputs).unwrap();
+        let macs: u64 = result.frames.iter().map(|f| f.ledger.macs).sum();
+        let conversions: u64 = result.frames.iter().map(|f| f.ledger.conversions).sum();
+        assert_eq!(result.ledger.macs, macs);
+        assert_eq!(result.ledger.conversions, conversions);
+        assert_eq!(result.len(), 4);
+        assert!(!result.is_empty());
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let program = micronet_program(40.0, 4);
+        let mut batch = BatchExecutor::new(program, 1, 2).unwrap();
+        let result = batch.execute_batch(&[]).unwrap();
+        assert!(result.is_empty());
+        assert_eq!(batch.next_frame(), 0);
+    }
+
+    #[test]
+    fn unverifiable_program_rejected_at_construction() {
+        let mut program = micronet_program(40.0, 4);
+        if let Instruction::Conv { codes, .. } = &mut program.instructions[0] {
+            codes[0] = 10_000; // beyond the 8-bit DAC range
+        }
+        match BatchExecutor::new(program, 1, 2) {
+            Err(CoreError::Verify(report)) => assert!(report.has_errors()),
+            other => panic!("expected Verify error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_shape_rejected_before_dispatch() {
+        let program = micronet_program(40.0, 4);
+        let mut batch = BatchExecutor::new(program, 1, 2).unwrap();
+        let bad = vec![Tensor::zeros(&[3, 32, 32]), Tensor::zeros(&[3, 16, 16])];
+        assert!(batch.execute_batch(&bad).is_err());
+        // The frame counter did not advance; a good batch still works.
+        assert_eq!(batch.next_frame(), 0);
+        let good = frame_stream(2, 1);
+        assert_eq!(batch.execute_batch(&good).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn pool_survives_many_batches() {
+        // Workers and their workspaces persist: many small batches through
+        // the same pool keep producing serial-identical frames.
+        let program = micronet_program(35.0, 8);
+        let inputs = frame_stream(8, 63);
+        let (want, _) = serial_reference(&program, 29, &inputs);
+        let mut batch = BatchExecutor::new(program, 29, 2).unwrap();
+        let mut got = Vec::new();
+        for chunk in inputs.chunks(2) {
+            got.extend(batch.execute_batch(chunk).unwrap().frames);
+        }
+        assert_frames_eq(&want, &got, "8 frames over 4 batches");
+        assert_eq!(batch.next_frame(), 8);
+        assert_eq!(batch.workers(), 2);
+    }
+}

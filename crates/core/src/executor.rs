@@ -26,6 +26,18 @@
 //! **bit-identical for a fixed seed regardless of the thread count**. Energy
 //! is charged as `count × per-op energy` products and integer stats are
 //! summed in band order, so the ledger is equally invariant to resharding.
+//!
+//! # Engine/context split (cross-frame batching)
+//!
+//! The executor is split into an immutable, shareable [`FrameEngine`]
+//! (verified program, weights, root noise stream, column geometry, knobs)
+//! and a per-frame mutable [`FrameCtx`] (frame counter, conv scratch
+//! workspace, forced-comparator tally). [`Executor`] binds one engine to one
+//! sequential context; [`BatchExecutor`](crate::BatchExecutor) shares one
+//! engine across a persistent worker pool, one pre-allocated context per
+//! worker, and is bit-identical to the serial path at any worker count
+//! because frame `f`'s noise depends only on `(seed, f)` — never on which
+//! worker ran it or what ran before.
 
 use crate::{CoreError, EnergyLedger, Instruction, Program, Result};
 use redeye_analog::calib::{
@@ -36,6 +48,7 @@ use redeye_analog::{Comparator, DampingConfig, SarAdc, Seconds, SnrDb};
 use redeye_tensor::{
     gemm_into, im2col_into, ConvGeom, NoiseSource, NoiseStream, PoolGeom, Tensor, Workspace,
 };
+use std::sync::OnceLock;
 
 /// Result of executing one frame.
 #[derive(Debug, Clone)]
@@ -53,6 +66,28 @@ pub struct ExecutionResult {
     /// (cumulative across the executor's lifetime, like the hardware's
     /// diagnostic counter).
     pub forced_decisions: u64,
+}
+
+/// Raw output of one frame through a [`FrameEngine`], before any cross-frame
+/// accounting.
+///
+/// Unlike [`ExecutionResult`], the forced-decision count here is *this
+/// frame's* tally alone — the caller (the serial [`Executor`] or the batch
+/// engine's frame-ordered merge) folds it into the lifetime-cumulative
+/// counter the hardware diagnostic exposes.
+#[derive(Debug, Clone)]
+pub struct FrameOutput {
+    /// The dequantized features the host receives.
+    pub features: Tensor,
+    /// Raw ADC codes, row-major over the feature tensor.
+    pub codes: Vec<u32>,
+    /// Itemized energy charged during this frame.
+    pub ledger: EnergyLedger,
+    /// Frame time under column parallelism.
+    pub elapsed: Seconds,
+    /// Comparator decisions forced by the metastability timeout in this
+    /// frame only.
+    pub forced: u64,
 }
 
 /// How the executor draws per-element Gaussian layer noise.
@@ -78,55 +113,24 @@ pub enum NoiseMode {
 /// bit-identical.
 const ANALOG_PARALLEL_MIN: usize = 4096;
 
-/// The RedEye functional executor.
+/// The immutable, shareable half of the executor: verified program, weights
+/// (inside the program's instructions), the root noise stream, and the
+/// column geometry plus execution knobs.
 ///
-/// Holds the program, the root noise stream (all noise is a pure function
-/// of the seed), and the reusable scratch the conv instructions share —
-/// mirroring the physical module reuse of §III-B.
-///
-/// Three thread knobs exist across the stack: frame-level parallelism in
-/// `redeye-sim`'s accuracy harness, the GEMM budget for conv products
-/// ([`Executor::set_gemm_threads`]), and the analog-stage budget for the
-/// per-site pipelines ([`Executor::set_analog_threads`]).
-/// [`Executor::set_threads`] sets the latter two together.
-///
-/// # Example
-///
-/// ```
-/// use redeye_core::{compile, CompileOptions, Executor, WeightBank};
-/// use redeye_nn::{build_network, zoo, WeightInit};
-/// use redeye_tensor::{Rng, Tensor};
-///
-/// # fn main() -> Result<(), redeye_core::CoreError> {
-/// let spec = zoo::micronet(4, 10);
-/// let prefix = spec.prefix_through("pool1").expect("micronet has pool1");
-/// let mut rng = Rng::seed_from(1);
-/// let mut net = build_network(&prefix, WeightInit::HeNormal, &mut rng)?;
-/// let mut bank = WeightBank::from_network(&mut net);
-/// let program = compile(&prefix, &mut bank, &CompileOptions::default())?;
-///
-/// let mut executor = Executor::new(program, 42);
-/// let result = executor.execute(&Tensor::full(&[3, 32, 32], 0.5))?;
-/// assert_eq!(result.features.dims(), &[4, 16, 16]);
-/// assert!(result.ledger.analog_total().value() > 0.0);
-/// # Ok(())
-/// # }
-/// ```
+/// A `FrameEngine` holds *no* per-frame state, so one engine can be shared
+/// by reference (or `Arc`) across any number of workers, each driving its
+/// own [`FrameCtx`]. Frame `f` executes under `stream.frame_substream(f)`,
+/// and every noise sample is a pure function of
+/// `(seed, frame, instruction, site, draw)` — so which worker runs which
+/// frame, and in what order, cannot change the output.
 #[derive(Debug)]
-pub struct Executor {
+pub struct FrameEngine {
     program: Program,
     /// Root counter-based stream; frame `f` executes under
-    /// `stream.substream(f)`.
+    /// `stream.frame_substream(f)`.
     stream: NoiseStream,
-    /// Number of frames executed so far (the frame substream label).
-    frames: u64,
-    /// Cumulative forced comparator decisions across all frames.
-    forced_total: u64,
     /// Number of column slices available for this program's sensor array.
     columns: f64,
-    /// Reusable `im2col`/GEMM scratch shared by every conv instruction;
-    /// grows to the program's high-water mark on the first frame.
-    ws: Workspace,
     /// GEMM thread budget for conv instructions.
     gemm_threads: usize,
     /// Thread budget for the per-site analog stages (layer noise,
@@ -134,27 +138,25 @@ pub struct Executor {
     analog_threads: usize,
     /// Gaussian sampling strategy for the layer-noise stage.
     noise_mode: NoiseMode,
-    /// Whether the loaded program has passed static verification; checked
-    /// lazily on the first frame so construction stays infallible.
-    verified: bool,
+    /// Set once the program passes static verification; checked lazily on
+    /// the first frame so construction stays infallible, and shared so
+    /// concurrent workers verify at most once.
+    verified: OnceLock<()>,
 }
 
-impl Executor {
-    /// Creates an executor for `program`, seeding all stochastic behaviour
+impl FrameEngine {
+    /// Creates an engine for `program`, seeding all stochastic behaviour
     /// from `seed`.
     pub fn new(program: Program, seed: u64) -> Self {
         let columns = program.input[2].max(1) as f64;
-        Executor {
+        FrameEngine {
             program,
             stream: NoiseStream::new(seed),
-            frames: 0,
-            forced_total: 0,
             columns,
-            ws: Workspace::new(),
             gemm_threads: 1,
             analog_threads: 1,
             noise_mode: NoiseMode::default(),
-            verified: false,
+            verified: OnceLock::new(),
         }
     }
 
@@ -191,8 +193,31 @@ impl Executor {
         &self.program
     }
 
-    /// Executes one captured frame through the analog pipeline and the
-    /// quantization module.
+    /// Verifies the loaded program (cached: verification runs at most once
+    /// per engine; failures re-verify and fail again).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Verify`] if the program has verification errors.
+    pub fn verify(&self) -> Result<()> {
+        if self.verified.get().is_some() {
+            return Ok(());
+        }
+        let report = redeye_verify::verify(&self.program);
+        if report.has_errors() {
+            return Err(CoreError::Verify(report));
+        }
+        let _ = self.verified.set(());
+        Ok(())
+    }
+
+    /// Executes frame number `frame` through the analog pipeline and the
+    /// quantization module, using `ctx`'s scratch workspace.
+    ///
+    /// This is the engine-level entry point the serial [`Executor`] and the
+    /// batch executor both call: the output is a pure function of
+    /// `(program, seed, frame, input)` — independent of which context or
+    /// thread runs it, and of any other frame having run before it.
     ///
     /// # Errors
     ///
@@ -200,14 +225,8 @@ impl Executor {
     /// verification (checked once, on the first frame), or
     /// [`CoreError::BadProgram`] if the input shape does not match the
     /// program or a shape error surfaces from a corrupt program.
-    pub fn execute(&mut self, input: &Tensor) -> Result<ExecutionResult> {
-        if !self.verified {
-            let report = redeye_verify::verify(&self.program);
-            if report.has_errors() {
-                return Err(CoreError::Verify(report));
-            }
-            self.verified = true;
-        }
+    pub fn run_frame(&self, frame: u64, input: &Tensor, ctx: &mut FrameCtx) -> Result<FrameOutput> {
+        self.verify()?;
         if input.dims() != self.program.input {
             return Err(CoreError::BadProgram {
                 reason: format!(
@@ -218,8 +237,8 @@ impl Executor {
             });
         }
         let mut pass = FramePass {
-            ws: &mut self.ws,
-            stream: self.stream.substream(self.frames),
+            ws: &mut ctx.ws,
+            stream: self.stream.frame_substream(frame),
             ordinal: 0,
             columns: self.columns,
             gemm_threads: self.gemm_threads,
@@ -229,7 +248,6 @@ impl Executor {
             elapsed: Seconds::zero(),
             forced: 0,
         };
-        self.frames += 1;
         // The input tensor is borrowed, not cloned: instruction outputs move
         // through `owned`, and the first instruction reads `input` directly.
         let mut owned: Option<Tensor> = None;
@@ -246,13 +264,195 @@ impl Executor {
             ..
         } = pass;
         ledger.controller = crate::estimate::controller_power() * elapsed;
-        self.forced_total += forced;
-        Ok(ExecutionResult {
+        Ok(FrameOutput {
             features,
             codes,
-            forced_decisions: self.forced_total,
             ledger,
             elapsed,
+            forced,
+        })
+    }
+}
+
+/// The per-frame mutable half of the executor: the frame-sequence counter,
+/// the reusable conv scratch [`Workspace`], and the cumulative
+/// forced-comparator tally.
+///
+/// One context belongs to one worker: the batch executor pre-allocates one
+/// per pool thread so steady-state frames perform no im2col/packing
+/// allocations, exactly like the serial path.
+#[derive(Debug, Default)]
+pub struct FrameCtx {
+    /// Reusable `im2col`/GEMM scratch shared by every conv instruction;
+    /// grows to the program's high-water mark on the first frame.
+    ws: Workspace,
+    /// The frame-substream label the next sequential frame executes under.
+    next_frame: u64,
+    /// Cumulative forced comparator decisions across this context's frames.
+    forced_total: u64,
+}
+
+impl FrameCtx {
+    /// A fresh context starting at frame 0 with empty scratch.
+    pub fn new() -> Self {
+        FrameCtx::default()
+    }
+
+    /// The frame number the next sequential execution will use.
+    pub fn next_frame(&self) -> u64 {
+        self.next_frame
+    }
+
+    /// Repositions the frame-substream counter so the next sequential frame
+    /// executes as frame `n` (see [`Executor::seek_frame`]).
+    pub fn seek_frame(&mut self, n: u64) {
+        self.next_frame = n;
+    }
+
+    /// Folds one frame's forced-decision count into the cumulative tally
+    /// and advances the sequence; returns the new cumulative total.
+    fn advance(&mut self, forced: u64) -> u64 {
+        self.next_frame += 1;
+        self.forced_total += forced;
+        self.forced_total
+    }
+}
+
+/// The RedEye functional executor: a [`FrameEngine`] driving a single
+/// sequential [`FrameCtx`].
+///
+/// Holds the program, the root noise stream (all noise is a pure function
+/// of the seed), and the reusable scratch the conv instructions share —
+/// mirroring the physical module reuse of §III-B. For cross-frame
+/// parallelism over the same engine/context split, see
+/// [`BatchExecutor`](crate::BatchExecutor).
+///
+/// Three thread knobs exist across the stack: frame-level parallelism in
+/// `redeye-sim`'s accuracy harness and the batch executor's worker pool,
+/// the GEMM budget for conv products ([`Executor::set_gemm_threads`]), and
+/// the analog-stage budget for the per-site pipelines
+/// ([`Executor::set_analog_threads`]).
+/// [`Executor::set_threads`] sets the latter two together.
+///
+/// # Example
+///
+/// ```
+/// use redeye_core::{compile, CompileOptions, Executor, WeightBank};
+/// use redeye_nn::{build_network, zoo, WeightInit};
+/// use redeye_tensor::{Rng, Tensor};
+///
+/// # fn main() -> Result<(), redeye_core::CoreError> {
+/// let spec = zoo::micronet(4, 10);
+/// let prefix = spec.prefix_through("pool1").expect("micronet has pool1");
+/// let mut rng = Rng::seed_from(1);
+/// let mut net = build_network(&prefix, WeightInit::HeNormal, &mut rng)?;
+/// let mut bank = WeightBank::from_network(&mut net);
+/// let program = compile(&prefix, &mut bank, &CompileOptions::default())?;
+///
+/// let mut executor = Executor::new(program, 42);
+/// let result = executor.execute(&Tensor::full(&[3, 32, 32], 0.5))?;
+/// assert_eq!(result.features.dims(), &[4, 16, 16]);
+/// assert!(result.ledger.analog_total().value() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Executor {
+    engine: FrameEngine,
+    ctx: FrameCtx,
+}
+
+impl Executor {
+    /// Creates an executor for `program`, seeding all stochastic behaviour
+    /// from `seed`.
+    pub fn new(program: Program, seed: u64) -> Self {
+        Executor {
+            engine: FrameEngine::new(program, seed),
+            ctx: FrameCtx::new(),
+        }
+    }
+
+    /// Sets both the GEMM and the analog-stage thread budgets. Results are
+    /// bit-identical across budgets; small stages stay serial regardless.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.engine.set_threads(threads);
+    }
+
+    /// Sets the GEMM thread budget for conv instructions only.
+    pub fn set_gemm_threads(&mut self, threads: usize) {
+        self.engine.set_gemm_threads(threads);
+    }
+
+    /// Sets the thread budget for the per-site analog stages (layer noise,
+    /// comparator max pooling, SAR readout) only.
+    pub fn set_analog_threads(&mut self, threads: usize) {
+        self.engine.set_analog_threads(threads);
+    }
+
+    /// Selects the Gaussian sampling strategy for the layer-noise stage.
+    pub fn set_noise_mode(&mut self, mode: NoiseMode) {
+        self.engine.set_noise_mode(mode);
+    }
+
+    /// The active Gaussian sampling strategy.
+    pub fn noise_mode(&self) -> NoiseMode {
+        self.engine.noise_mode()
+    }
+
+    /// The loaded program.
+    pub fn program(&self) -> &Program {
+        self.engine.program()
+    }
+
+    /// The immutable engine half (program, stream, knobs).
+    pub fn engine(&self) -> &FrameEngine {
+        &self.engine
+    }
+
+    /// Splits the executor into its shareable engine and its sequential
+    /// context — the handoff the batch executor builds on.
+    pub fn into_parts(self) -> (FrameEngine, FrameCtx) {
+        (self.engine, self.ctx)
+    }
+
+    /// The frame number the next [`Executor::execute`] call will run as.
+    pub fn next_frame(&self) -> u64 {
+        self.ctx.next_frame()
+    }
+
+    /// Repositions the frame counter so the next [`Executor::execute`] call
+    /// runs as frame `n` — replaying any frame's noise substream from any
+    /// offset for reproducible debugging.
+    ///
+    /// `seek_frame(k)` followed by one `execute` produces the same
+    /// features, codes, ledger, and frame time as executing frames
+    /// `0, 1, …, k` sequentially and keeping the last result. Only the
+    /// cumulative forced-decision diagnostic differs: seeking does not
+    /// replay the skipped frames' comparator tallies.
+    pub fn seek_frame(&mut self, n: u64) {
+        self.ctx.seek_frame(n);
+    }
+
+    /// Executes one captured frame through the analog pipeline and the
+    /// quantization module.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Verify`] if the program fails static
+    /// verification (checked once, on the first frame), or
+    /// [`CoreError::BadProgram`] if the input shape does not match the
+    /// program or a shape error surfaces from a corrupt program.
+    pub fn execute(&mut self, input: &Tensor) -> Result<ExecutionResult> {
+        let out = self
+            .engine
+            .run_frame(self.ctx.next_frame, input, &mut self.ctx)?;
+        let forced_total = self.ctx.advance(out.forced);
+        Ok(ExecutionResult {
+            features: out.features,
+            codes: out.codes,
+            ledger: out.ledger,
+            elapsed: out.elapsed,
+            forced_decisions: forced_total,
         })
     }
 }
@@ -968,6 +1168,69 @@ mod tests {
         for v in result.features.iter() {
             assert!((v - 0.5).abs() < 0.05, "flat max stays flat: {v}");
         }
+    }
+
+    #[test]
+    fn seek_frame_replays_any_offset() {
+        // seek_frame(k) + one execute == running k+1 frames and keeping the
+        // last: features, codes, ledger, and frame time all match (the
+        // cumulative forced-decision diagnostic intentionally does not
+        // replay skipped frames).
+        let (program, _) = micronet_program(30.0, 8);
+        let input = Tensor::full(&[3, 32, 32], 0.5);
+        for k in [0u64, 1, 5] {
+            let mut sequential = Executor::new(program.clone(), 13);
+            let mut last = None;
+            for _ in 0..=k {
+                last = Some(sequential.execute(&input).unwrap());
+            }
+            let want = last.unwrap();
+
+            let mut seeked = Executor::new(program.clone(), 13);
+            seeked.seek_frame(k);
+            assert_eq!(seeked.next_frame(), k);
+            let got = seeked.execute(&input).unwrap();
+            assert_eq!(seeked.next_frame(), k + 1);
+            assert_eq!(want.features, got.features, "frame {k}");
+            assert_eq!(want.codes, got.codes, "frame {k}");
+            assert!(want.ledger == got.ledger, "frame {k}: ledger diverged");
+            assert_eq!(want.elapsed.value(), got.elapsed.value(), "frame {k}");
+        }
+    }
+
+    #[test]
+    fn shared_engine_is_frame_pure() {
+        // One engine, two independent contexts: the same frame number gives
+        // the same output regardless of which context runs it or what that
+        // context ran before.
+        let (program, _) = micronet_program(30.0, 8);
+        let input = Tensor::full(&[3, 32, 32], 0.5);
+        let engine = FrameEngine::new(program, 19);
+        let mut warm = FrameCtx::new();
+        // This context has history: frames 0 and 1 already ran through it.
+        engine.run_frame(0, &input, &mut warm).unwrap();
+        engine.run_frame(1, &input, &mut warm).unwrap();
+        let from_warm = engine.run_frame(7, &input, &mut warm).unwrap();
+        let mut cold = FrameCtx::new();
+        let from_cold = engine.run_frame(7, &input, &mut cold).unwrap();
+        assert_eq!(from_warm.features, from_cold.features);
+        assert_eq!(from_warm.codes, from_cold.codes);
+        assert!(from_warm.ledger == from_cold.ledger);
+        assert_eq!(from_warm.forced, from_cold.forced);
+    }
+
+    #[test]
+    fn into_parts_round_trips_through_engine() {
+        let (program, _) = micronet_program(30.0, 8);
+        let input = Tensor::full(&[3, 32, 32], 0.5);
+        let mut exec = Executor::new(program.clone(), 23);
+        let want = exec.execute(&input).unwrap();
+        let (engine, mut ctx) = Executor::new(program, 23).into_parts();
+        let got = engine
+            .run_frame(ctx.next_frame(), &input, &mut ctx)
+            .unwrap();
+        assert_eq!(want.features, got.features);
+        assert_eq!(want.codes, got.codes);
     }
 
     #[test]

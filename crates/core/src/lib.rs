@@ -17,6 +17,10 @@
 //!   through the program using the `redeye-analog` behavioral models
 //!   (damped-node Gaussian noise, comparator max-pooling, bit-accurate SAR
 //!   quantization), producing features *and* an [`EnergyLedger`].
+//! - [`BatchExecutor`] — the **cross-frame throughput engine**: batches of
+//!   frames through a persistent worker pool sharing one immutable
+//!   [`FrameEngine`], bit-identical to the serial [`Executor`] at any
+//!   worker count (continuous-vision frames/sec is the headline metric).
 //! - [`estimate`] — the **analytic estimator**: exact per-depth energy,
 //!   timing, and readout workloads for full-size networks (GoogLeNet at
 //!   227×227) from shape propagation alone; this is what regenerates the
@@ -45,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod area;
+mod batch;
 pub mod compile;
 mod energy;
 mod error;
@@ -56,11 +61,12 @@ mod sram;
 pub mod stacking;
 pub mod topology;
 
+pub use batch::{BatchExecutor, BatchResult};
 pub use compile::{compile, CompileOptions, VerifyPolicy, WeightBank};
 pub use energy::EnergyLedger;
 pub use error::CoreError;
 pub use estimate::{EnergyBreakdown, Estimate, NoisePlan, RedEyeConfig, TimingBreakdown};
-pub use executor::{ExecutionResult, Executor, NoiseMode};
+pub use executor::{ExecutionResult, Executor, FrameCtx, FrameEngine, FrameOutput, NoiseMode};
 pub use partition::{partition_googlenet, Depth};
 pub use redeye_verify::{
     verify, verify_with_limits, DiagClass, Diagnostic, Instruction, Program, Report,

@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 use redeye_analog::{ProcessCorner, SnrDb};
 use redeye_core::{
-    compile, estimate, CompileOptions, Depth, Executor, FeatureSram, NoiseMode, Program,
-    RedEyeConfig, WeightBank,
+    compile, estimate, BatchExecutor, CompileOptions, Depth, EnergyLedger, Executor, FeatureSram,
+    NoiseMode, Program, RedEyeConfig, WeightBank,
 };
 use redeye_nn::{build_network, zoo, WeightInit};
 use redeye_tensor::{Rng, Tensor};
@@ -152,6 +152,95 @@ proptest! {
             prop_assert!(want.ledger == got.ledger, "{} threads: ledger diverged", threads);
             prop_assert_eq!(want.elapsed.value(), got.elapsed.value());
             prop_assert_eq!(want.forced_decisions, got.forced_decisions);
+        }
+    }
+
+    /// Batched execution is invariant to the worker count (1/2/4) *and* the
+    /// batch split (1/4/whole-stream), bit-identical to the serial executor
+    /// over the program zoo: per-frame features, codes, ledgers, frame
+    /// times, and cumulative forced tallies, plus the merged ledger's
+    /// integer stats (and its energy terms — the frame-order fold makes
+    /// even the f64 sums exact).
+    #[test]
+    fn batch_executor_matches_serial_executor(
+        base_c in 4usize..9,
+        cut_idx in 0usize..3,
+        use_inception in 0u32..2,
+        snr in 25.0f64..60.0,
+        bits in 3u32..10,
+        seed in 0u64..1_000_000,
+        batched in 0u32..2,
+    ) {
+        let (spec, cut) = if use_inception == 1 {
+            (zoo::tiny_inception(10), "pool2")
+        } else {
+            (zoo::micronet(base_c, 10), ["pool1", "pool2", "pool3"][cut_idx])
+        };
+        let prefix = spec.prefix_through(cut).unwrap();
+        let mut rng = Rng::seed_from(seed ^ 0x5A5A);
+        let mut net = build_network(&prefix, WeightInit::HeNormal, &mut rng).unwrap();
+        let mut bank = WeightBank::from_network(&mut net);
+        let opts = CompileOptions {
+            snr: SnrDb::new(snr),
+            adc_bits: bits,
+            ..CompileOptions::default()
+        };
+        let program = compile(&prefix, &mut bank, &opts).unwrap();
+        let mode = if batched == 1 { NoiseMode::Batched } else { NoiseMode::Scalar };
+        let n = 4usize;
+        let inputs: Vec<Tensor> = (0..n)
+            .map(|_| Tensor::uniform(&[3, 32, 32], 0.0, 1.0, &mut rng))
+            .collect();
+
+        let mut serial = Executor::new(program.clone(), seed);
+        serial.set_noise_mode(mode);
+        let mut want_ledger = EnergyLedger::new();
+        let want: Vec<_> = inputs
+            .iter()
+            .map(|input| {
+                let r = serial.execute(input).unwrap();
+                want_ledger.merge(&r.ledger);
+                r
+            })
+            .collect();
+
+        for workers in [1usize, 2, 4] {
+            for batch_size in [1usize, 2, n] {
+                let mut engine = redeye_core::FrameEngine::new(program.clone(), seed);
+                engine.set_noise_mode(mode);
+                let mut batch = BatchExecutor::with_engine(engine, workers).unwrap();
+                let mut merged = EnergyLedger::new();
+                let mut got = Vec::new();
+                for chunk in inputs.chunks(batch_size) {
+                    let result = batch.execute_batch(chunk).unwrap();
+                    merged.merge(&result.ledger);
+                    got.extend(result.frames);
+                }
+                let tag = format!("{workers}w/b{batch_size}");
+                prop_assert_eq!(want.len(), got.len(), "{}: frame count", &tag);
+                for (f, (w, g)) in want.iter().zip(got.iter()).enumerate() {
+                    prop_assert_eq!(&w.features, &g.features, "{}: frame {} features", &tag, f);
+                    prop_assert_eq!(&w.codes, &g.codes, "{}: frame {} codes", &tag, f);
+                    prop_assert!(w.ledger == g.ledger, "{}: frame {} ledger", &tag, f);
+                    prop_assert_eq!(w.elapsed.value(), g.elapsed.value());
+                    prop_assert_eq!(w.forced_decisions, g.forced_decisions);
+                }
+                prop_assert_eq!(merged.macs, want_ledger.macs, "{}: merged macs", &tag);
+                prop_assert_eq!(
+                    merged.comparisons, want_ledger.comparisons,
+                    "{}: merged comparisons", &tag
+                );
+                prop_assert_eq!(merged.writes, want_ledger.writes, "{}: merged writes", &tag);
+                prop_assert_eq!(
+                    merged.conversions, want_ledger.conversions,
+                    "{}: merged conversions", &tag
+                );
+                prop_assert_eq!(
+                    merged.readout_bits, want_ledger.readout_bits,
+                    "{}: merged readout bits", &tag
+                );
+                prop_assert!(merged == want_ledger, "{}: merged ledger energy diverged", &tag);
+            }
         }
     }
 

@@ -120,6 +120,28 @@ impl NoiseStream {
         }
     }
 
+    /// The substream that seeds *all* of frame `frame`'s noise — the
+    /// handoff point between a shared immutable frame engine and whichever
+    /// worker thread executes the frame.
+    ///
+    /// Streams are plain `Copy` keys with no draw state, so a root stream
+    /// can live in engine state shared across a worker pool while each
+    /// worker derives its claimed frame's substream locally: the samples a
+    /// frame draws depend only on `(seed, frame)`, never on the worker, the
+    /// claim order, or any other frame having run first. That is the whole
+    /// determinism argument for cross-frame batching (the executor keys
+    /// instruction substreams off this one in DFS order, and sites off
+    /// those).
+    ///
+    /// Currently frame labels share [`NoiseStream::substream`]'s label
+    /// space; this named entry point pins the engine↔worker contract so the
+    /// frame-labeling scheme can evolve independently of other substream
+    /// consumers.
+    #[must_use]
+    pub fn frame_substream(&self, frame: u64) -> NoiseStream {
+        self.substream(frame)
+    }
+
     /// The per-site generator for `site`.
     ///
     /// Draws from the returned generator are a pure function of
@@ -315,6 +337,11 @@ impl NoiseSource for SiteRng {
     }
 }
 
+// The batch executor shares one root stream across its worker pool by
+// value; keep the stream trivially shareable.
+const fn assert_shareable<T: Send + Sync + Copy>() {}
+const _: () = assert_shareable::<NoiseStream>();
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -349,6 +376,27 @@ mod tests {
             .filter(|&i| a.at(i).next_u64() == b.at(i).next_u64())
             .count();
         assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn frame_substream_handoff_is_thread_invariant() {
+        // A root stream handed to worker threads by value yields the same
+        // per-frame substream draws as deriving them in the owning thread —
+        // and out-of-order claiming changes nothing.
+        let root = NoiseStream::new(11);
+        let serial: Vec<u64> = (0..8u64)
+            .map(|f| root.frame_substream(f).at(0).next_u64())
+            .collect();
+        let claimed: Vec<(u64, u64)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = [5u64, 2, 7, 0, 3, 6, 1, 4] // arbitrary claim order
+                .into_iter()
+                .map(|f| scope.spawn(move || (f, root.frame_substream(f).at(0).next_u64())))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (f, draw) in claimed {
+            assert_eq!(serial[f as usize], draw, "frame {f}");
+        }
     }
 
     #[test]

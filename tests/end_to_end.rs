@@ -143,6 +143,41 @@ fn estimate_matches_executor_counters_on_googlenet_front() {
     assert!(rel < 1e-6, "processing energy mismatch {rel}");
 }
 
+/// The batched throughput engine produces the same frame stream as the
+/// serial executor on the full trained-capture workflow — same program,
+/// same raw-captured inputs, compared frame by frame.
+#[test]
+fn batched_execution_matches_serial_on_captured_frames() {
+    use redeye::core::BatchExecutor;
+
+    let (spec, mut net) = quick_trained();
+    let prefix = spec.prefix_through("pool3").unwrap();
+    let mut bank = WeightBank::from_network(&mut net);
+    let program = compile(&prefix, &mut bank, &CompileOptions::default()).unwrap();
+
+    let dataset = SyntheticDataset::new(10, 32, 3);
+    let mut rng = Rng::seed_from(17);
+    let fpn = sensor::FixedPatternNoise::new(&[3, 32, 32], 0.01, 0.005, &mut rng);
+    let frames: Vec<Tensor> = dataset
+        .batch(70_000, 6)
+        .into_iter()
+        .map(|li| sensor::capture_raw(&li.image, 10_000.0, &fpn, &mut rng))
+        .collect();
+
+    let mut serial = Executor::new(program.clone(), 5);
+    let want: Vec<_> = frames.iter().map(|f| serial.execute(f).unwrap()).collect();
+
+    let mut batch = BatchExecutor::new(program, 5, 3).unwrap();
+    let got = batch.execute_batch(&frames).unwrap();
+    assert_eq!(got.len(), want.len());
+    for (i, (w, g)) in want.iter().zip(got.frames.iter()).enumerate() {
+        assert_eq!(w.features, g.features, "frame {i} features");
+        assert_eq!(w.codes, g.codes, "frame {i} codes");
+        assert!(w.ledger == g.ledger, "frame {i} ledger");
+        assert_eq!(w.forced_decisions, g.forced_decisions, "frame {i} tally");
+    }
+}
+
 #[test]
 fn paper_headline_numbers_hold_end_to_end() {
     use redeye::system::{scenario, ImageSensor};
