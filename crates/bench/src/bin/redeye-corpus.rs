@@ -1,0 +1,73 @@
+//! `redeye-corpus` — regenerates the checked-in example program corpus.
+//!
+//! Writes one JSON-serialized [`Program`] per corpus entry into the target
+//! directory (default `examples/programs`). The corpus is what CI's
+//! lint-gate step feeds through `redeye-lint --deny-warnings`: every entry
+//! must stay warning-free under all seven analysis passes. Generation is
+//! fully deterministic (fixed weight seed, default compile options), so CI
+//! also checks the checked-in files are byte-identical to a fresh run.
+//!
+//! ```text
+//! $ redeye-corpus [OUT_DIR]
+//! ```
+
+use redeye_core::{compile, CompileOptions, Program, WeightBank};
+use redeye_nn::{build_network, zoo, WeightInit};
+use redeye_tensor::Rng;
+use std::process::ExitCode;
+
+/// Fixed weight seed: the corpus must not drift between runs.
+const SEED: u64 = 7;
+
+fn compiled(spec: &redeye_nn::NetworkSpec, cut: &str) -> Program {
+    let prefix = spec.prefix_through(cut).expect("cut exists");
+    let mut rng = Rng::seed_from(SEED);
+    let mut net = build_network(&prefix, WeightInit::HeNormal, &mut rng).expect("builds");
+    let mut bank = WeightBank::from_network(&mut net);
+    compile(&prefix, &mut bank, &CompileOptions::default()).expect("compiles")
+}
+
+fn corpus() -> Vec<(&'static str, Program)> {
+    vec![
+        ("micronet_pool1", compiled(&zoo::micronet(8, 10), "pool1")),
+        ("micronet_pool3", compiled(&zoo::micronet(8, 10), "pool3")),
+        (
+            "tiny_inception_pool2",
+            compiled(&zoo::tiny_inception(10), "pool2"),
+        ),
+        (
+            "tiny_inception_inception_a",
+            compiled(&zoo::tiny_inception(10), "inception_a"),
+        ),
+        (
+            "capture_only",
+            Program::new("capture-only", [3, 32, 32], vec![], 4),
+        ),
+    ]
+}
+
+fn main() -> ExitCode {
+    let out_dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "examples/programs".into());
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("redeye-corpus: creating `{out_dir}`: {e}");
+        return ExitCode::from(2);
+    }
+    for (name, program) in corpus() {
+        let path = format!("{out_dir}/{name}.json");
+        let json = match serde_json::to_string_pretty(&program) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("redeye-corpus: serializing `{name}`: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if let Err(e) = std::fs::write(&path, json + "\n") {
+            eprintln!("redeye-corpus: writing `{path}`: {e}");
+            return ExitCode::from(2);
+        }
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -12,11 +12,21 @@
 //! `googlenet[..=pool3]`: 1 error(s), 0 warning(s), 0 note(s)
 //! ```
 //!
+//! With `--budget` the static cost model (RE07xx) is checked against a
+//! per-frame energy/latency cap and the corner bounds are printed; with
+//! `--ranges` the signal-range pass's per-stage voltage envelopes are
+//! listed. `--json` wraps everything in one structured object:
+//! `{"report": …, "cost": …, "ranges": …}`.
+//!
 //! Exit status: 0 when the program passes (warnings allowed unless
 //! `--deny-warnings`), 1 when diagnostics at the denied severity exist, 2 on
 //! usage, I/O, or parse errors.
 
-use redeye_verify::{verify_with_limits, Program, ResourceLimits};
+use redeye_analog::{Joules, Seconds};
+use redeye_verify::{
+    analyze_cost, analyze_ranges, verify_with_options, CostBounds, CostBudget, Program,
+    RangeSummary, Report, ResourceLimits, VerifyOptions,
+};
 use std::io::Read as _;
 use std::process::ExitCode;
 
@@ -24,11 +34,17 @@ const USAGE: &str = "\
 usage: redeye-lint [OPTIONS] <PROGRAM.json | ->
 
 Statically verifies a JSON-serialized RedEye program (shape dataflow,
-DAC code range, noise admission, resource budgets) without executing it.
+DAC code range, noise admission, resource budgets, signal ranges, static
+cost model) without executing it.
 
 options:
-  --json             emit the structured report as JSON instead of a listing
+  --json             emit {\"report\", \"cost\", \"ranges\"} as JSON
   --deny-warnings    exit with status 1 on warnings, not only errors
+  --budget <mJ>[/<ms>]  per-frame energy (mJ) and optional latency (ms)
+                     caps for the static cost pass (RE07xx); prints the
+                     process-corner cost bounds. `/<ms>` alone caps time only
+  --ranges           print the per-stage signal envelopes (volts) derived
+                     by the signal-range pass
   --kernel-sram <B>  kernel (program) SRAM capacity in bytes [default: 9216]
   --feature-sram <B> feature SRAM capacity in bytes [default: 102400]
   --columns <N>      physical column count [default: 227]
@@ -39,7 +55,37 @@ struct Options {
     path: Option<String>,
     json: bool,
     deny_warnings: bool,
+    ranges: bool,
+    budget: Option<CostBudget>,
     limits: ResourceLimits,
+}
+
+/// `<mJ>`, `<mJ>/<ms>`, or `/<ms>` — at least one side must be present.
+fn parse_budget(value: &str) -> Result<CostBudget, String> {
+    let (energy_s, time_s) = match value.split_once('/') {
+        Some((e, t)) => (e, t),
+        None => (value, ""),
+    };
+    let parse = |v: &str, what: &str| -> Result<Option<f64>, String> {
+        if v.is_empty() {
+            return Ok(None);
+        }
+        match v.parse::<f64>() {
+            Ok(x) if x.is_finite() && x > 0.0 => Ok(Some(x)),
+            _ => Err(format!(
+                "--budget {what} must be a positive number, got `{v}`"
+            )),
+        }
+    };
+    let energy = parse(energy_s, "energy (mJ)")?;
+    let time = parse(time_s, "time (ms)")?;
+    if energy.is_none() && time.is_none() {
+        return Err("--budget needs at least one of <mJ>[/<ms>]".into());
+    }
+    Ok(CostBudget {
+        max_frame_energy: energy.map(Joules::from_milli),
+        max_frame_time: time.map(Seconds::from_milli),
+    })
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -47,22 +93,28 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         path: None,
         json: false,
         deny_warnings: false,
+        ranges: false,
+        budget: None,
         limits: ResourceLimits::default(),
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
-        let mut numeric = |name: &str| -> Result<usize, String> {
-            iter.next()
-                .ok_or_else(|| format!("{name} needs a value"))?
-                .parse()
-                .map_err(|_| format!("{name} needs an integer value"))
+        let mut value = |name: &str| -> Result<&String, String> {
+            iter.next().ok_or_else(|| format!("{name} needs a value"))
         };
         match arg.as_str() {
             "--json" => opts.json = true,
             "--deny-warnings" => opts.deny_warnings = true,
-            "--kernel-sram" => opts.limits.kernel_sram_bytes = numeric("--kernel-sram")?,
-            "--feature-sram" => opts.limits.feature_sram_bytes = numeric("--feature-sram")?,
-            "--columns" => opts.limits.columns = numeric("--columns")?,
+            "--ranges" => opts.ranges = true,
+            "--budget" => opts.budget = Some(parse_budget(value("--budget")?)?),
+            "--kernel-sram" => {
+                opts.limits.kernel_sram_bytes = numeric(value("--kernel-sram")?, "--kernel-sram")?;
+            }
+            "--feature-sram" => {
+                opts.limits.feature_sram_bytes =
+                    numeric(value("--feature-sram")?, "--feature-sram")?;
+            }
+            "--columns" => opts.limits.columns = numeric(value("--columns")?, "--columns")?,
             "-h" | "--help" => return Err(String::new()),
             other if opts.path.is_none() => opts.path = Some(other.to_string()),
             other => return Err(format!("unexpected argument `{other}`")),
@@ -72,6 +124,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         return Err("missing program path (use `-` for stdin)".into());
     }
     Ok(opts)
+}
+
+fn numeric(value: &str, name: &str) -> Result<usize, String> {
+    value
+        .parse()
+        .map_err(|_| format!("{name} needs an integer value"))
 }
 
 fn read_program(path: &str) -> Result<Program, String> {
@@ -85,6 +143,49 @@ fn read_program(path: &str) -> Result<Program, String> {
         std::fs::read_to_string(path).map_err(|e| format!("reading `{path}`: {e}"))?
     };
     serde_json::from_str(&text).map_err(|e| format!("parsing `{path}`: {e}"))
+}
+
+/// The `--json` payload: the full report plus the two analysis artifacts.
+/// Owns its fields: the vendored serde_derive stub does not handle
+/// lifetime-generic types.
+#[derive(serde::Serialize)]
+struct Output {
+    report: Report,
+    /// Static per-frame cost bounds; `null` when not statically derivable.
+    cost: Option<CostBounds>,
+    /// Per-stage signal envelopes; `null` unless `--ranges` was given.
+    ranges: Option<Vec<RangeSummary>>,
+}
+
+fn print_cost(bounds: &CostBounds) {
+    println!(
+        "cost: energy [{:.6}, {:.6}] mJ (nominal {:.6}), time [{:.6}, {:.6}] ms (nominal {:.6})",
+        bounds.lower.energy.millis(),
+        bounds.upper.energy.millis(),
+        bounds.nominal.energy.millis(),
+        bounds.lower.time.millis(),
+        bounds.upper.time.millis(),
+        bounds.nominal.time.millis(),
+    );
+    println!(
+        "      {} MACs, {} comparisons, {} buffer writes, {} conversions, {} readout bits",
+        bounds.macs, bounds.comparisons, bounds.writes, bounds.conversions, bounds.readout_bits,
+    );
+}
+
+fn print_ranges(ranges: &[RangeSummary]) {
+    println!("signal ranges (volts):");
+    for r in ranges {
+        let path: Vec<String> = r.path.iter().map(ToString::to_string).collect();
+        println!(
+            "  #{:<8} `{}` [{:.4}, {:.4}] V, sigma {:.4} V",
+            path.join("."),
+            r.layer,
+            r.lo_volts,
+            r.hi_volts,
+            r.sigma_volts,
+        );
+    }
 }
 
 fn main() -> ExitCode {
@@ -108,9 +209,25 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let report = verify_with_limits(&program, &opts.limits);
+    let verify_opts = VerifyOptions {
+        limits: opts.limits,
+        budget: opts.budget.unwrap_or_default(),
+    };
+    let report = verify_with_options(&program, &verify_opts);
+    let cost = if opts.budget.is_some() || opts.json {
+        analyze_cost(&program)
+    } else {
+        None
+    };
+    let ranges = opts.ranges.then(|| analyze_ranges(&program));
+    let failed = report.has_errors() || (opts.deny_warnings && report.has_warnings());
     if opts.json {
-        match serde_json::to_string(&report) {
+        let output = Output {
+            report,
+            cost,
+            ranges,
+        };
+        match serde_json::to_string(&output) {
             Ok(json) => println!("{json}"),
             Err(e) => {
                 eprintln!("redeye-lint: serializing report: {e}");
@@ -119,8 +236,13 @@ fn main() -> ExitCode {
         }
     } else {
         print!("{report}");
+        if let (Some(bounds), Some(_)) = (&cost, &opts.budget) {
+            print_cost(bounds);
+        }
+        if let Some(ranges) = &ranges {
+            print_ranges(ranges);
+        }
     }
-    let failed = report.has_errors() || (opts.deny_warnings && report.has_warnings());
     if failed {
         ExitCode::from(1)
     } else {

@@ -99,6 +99,59 @@ fn limit_overrides_are_applied() {
 }
 
 #[test]
+fn budget_flag_prints_cost_bounds_and_gates() {
+    let json = serde_json::to_string(&program(55.0, 1)).unwrap();
+    // A generous 1 J / 1 s cap: passes, and the corner bounds are printed.
+    let (stdout, status) = lint(&["--budget", "1000/1000", "-"], &json);
+    assert_eq!(status, 0, "stdout: {stdout}");
+    assert!(stdout.contains("cost: energy ["), "stdout: {stdout}");
+    assert!(stdout.contains("MACs"), "stdout: {stdout}");
+    // A 1 pJ cap is below any program's lower bound: a hard RE0701 error.
+    let (stdout, status) = lint(&["--budget", "0.000000001", "-"], &json);
+    assert_eq!(status, 1);
+    assert!(stdout.contains("error[RE0701]"), "stdout: {stdout}");
+    // Time-only cap: 1 ns of frame time is statically impossible.
+    let (stdout, status) = lint(&["--budget", "/0.000001", "-"], &json);
+    assert_eq!(status, 1);
+    assert!(stdout.contains("error[RE0703]"), "stdout: {stdout}");
+}
+
+#[test]
+fn ranges_flag_lists_signal_envelopes() {
+    let json = serde_json::to_string(&program(55.0, 1)).unwrap();
+    let (stdout, status) = lint(&["--ranges", "-"], &json);
+    assert_eq!(status, 0, "stdout: {stdout}");
+    assert!(
+        stdout.contains("signal ranges (volts):"),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("`conv1`"), "stdout: {stdout}");
+}
+
+#[test]
+fn json_output_carries_cost_and_ranges() {
+    let json = serde_json::to_string(&program(55.0, 1)).unwrap();
+    let (stdout, status) = lint(&["--json", "--ranges", "-"], &json);
+    assert_eq!(status, 0, "stdout: {stdout}");
+    let _: serde_json::Value = serde_json::from_str(&stdout).expect("valid JSON");
+    assert!(stdout.contains("\"report\""), "stdout: {stdout}");
+    assert!(stdout.contains("\"diagnostics\""), "stdout: {stdout}");
+    assert!(stdout.contains("\"cost\""), "stdout: {stdout}");
+    assert!(stdout.contains("\"nominal\""), "stdout: {stdout}");
+    assert!(stdout.contains("\"ranges\""), "stdout: {stdout}");
+    assert!(stdout.contains("\"layer\":\"conv1\""), "stdout: {stdout}");
+}
+
+#[test]
+fn malformed_budget_exits_two() {
+    let json = serde_json::to_string(&program(55.0, 1)).unwrap();
+    let (_, status) = lint(&["--budget", "fast", "-"], &json);
+    assert_eq!(status, 2);
+    let (_, status) = lint(&["--budget", "/", "-"], &json);
+    assert_eq!(status, 2);
+}
+
+#[test]
 fn unreadable_input_exits_two() {
     let (_, status) = lint(&["/nonexistent/program.json"], "");
     assert_eq!(status, 2);

@@ -256,6 +256,7 @@ impl BatchExecutor {
                 ledger: out.ledger,
                 elapsed: out.elapsed,
                 forced_decisions: self.forced_total,
+                rail_clips: out.rail_clips,
             });
         }
         self.next_frame += n as u64;

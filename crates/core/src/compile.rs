@@ -92,6 +92,9 @@ pub struct CompileOptions {
     pub adc_bits: u32,
     /// Verification policy applied to the compiled program.
     pub verify: VerifyPolicy,
+    /// Per-frame cost budget the verification checks the compiled program
+    /// against (RE07xx). Unset caps are not checked.
+    pub budget: redeye_verify::CostBudget,
 }
 
 impl Default for CompileOptions {
@@ -101,6 +104,7 @@ impl Default for CompileOptions {
             snr: SnrDb::new(40.0),
             adc_bits: 4,
             verify: VerifyPolicy::default(),
+            budget: redeye_verify::CostBudget::default(),
         }
     }
 }
@@ -283,7 +287,13 @@ pub fn compile(
         VerifyPolicy::DenyWarnings => Some(true),
     };
     if let Some(deny_warnings) = deny {
-        let report = redeye_verify::verify(&program);
+        let report = redeye_verify::verify_with_options(
+            &program,
+            &redeye_verify::VerifyOptions {
+                limits: redeye_verify::ResourceLimits::default(),
+                budget: opts.budget,
+            },
+        );
         if report.has_errors() || (deny_warnings && report.has_warnings()) {
             return Err(CoreError::Verify(report));
         }

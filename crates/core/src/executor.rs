@@ -66,6 +66,10 @@ pub struct ExecutionResult {
     /// (cumulative across the executor's lifetime, like the hardware's
     /// diagnostic counter).
     pub forced_decisions: u64,
+    /// Feature values that clipped at the SAR quantizer's 0 V lower rail
+    /// in this frame (negative residues are clamped before conversion).
+    /// Zero whenever the signal-range pass proved the program clean.
+    pub rail_clips: u64,
 }
 
 /// Raw output of one frame through a [`FrameEngine`], before any cross-frame
@@ -88,6 +92,9 @@ pub struct FrameOutput {
     /// Comparator decisions forced by the metastability timeout in this
     /// frame only.
     pub forced: u64,
+    /// Feature values that clipped at the SAR quantizer's 0 V lower rail
+    /// in this frame.
+    pub rail_clips: u64,
 }
 
 /// How the executor draws per-element Gaussian layer noise.
@@ -138,6 +145,8 @@ pub struct FrameEngine {
     analog_threads: usize,
     /// Gaussian sampling strategy for the layer-noise stage.
     noise_mode: NoiseMode,
+    /// Per-frame cost caps enforced during pre-frame verification.
+    budget: redeye_verify::CostBudget,
     /// Set once the program passes static verification; checked lazily on
     /// the first frame so construction stays infallible, and shared so
     /// concurrent workers verify at most once.
@@ -156,8 +165,17 @@ impl FrameEngine {
             gemm_threads: 1,
             analog_threads: 1,
             noise_mode: NoiseMode::default(),
+            budget: redeye_verify::CostBudget::default(),
             verified: OnceLock::new(),
         }
+    }
+
+    /// Sets the per-frame cost budget the lazy pre-frame verification
+    /// enforces (RE07xx); a program whose static lower bound exceeds a cap
+    /// refuses to execute. Resets the verification cache.
+    pub fn set_cost_budget(&mut self, budget: redeye_verify::CostBudget) {
+        self.budget = budget;
+        self.verified = OnceLock::new();
     }
 
     /// Sets both the GEMM and the analog-stage thread budgets. Results are
@@ -203,7 +221,13 @@ impl FrameEngine {
         if self.verified.get().is_some() {
             return Ok(());
         }
-        let report = redeye_verify::verify(&self.program);
+        let report = redeye_verify::verify_with_options(
+            &self.program,
+            &redeye_verify::VerifyOptions {
+                limits: redeye_verify::ResourceLimits::default(),
+                budget: self.budget,
+            },
+        );
         if report.has_errors() {
             return Err(CoreError::Verify(report));
         }
@@ -255,7 +279,7 @@ impl FrameEngine {
             let next = pass.run_instruction(inst, owned.as_ref().unwrap_or(input))?;
             owned = Some(next);
         }
-        let (features, codes) =
+        let (features, codes, rail_clips) =
             pass.quantize(self.program.adc_bits, owned.as_ref().unwrap_or(input))?;
         let FramePass {
             mut ledger,
@@ -270,6 +294,7 @@ impl FrameEngine {
             ledger,
             elapsed,
             forced,
+            rail_clips,
         })
     }
 }
@@ -453,7 +478,14 @@ impl Executor {
             ledger: out.ledger,
             elapsed: out.elapsed,
             forced_decisions: forced_total,
+            rail_clips: out.rail_clips,
         })
+    }
+
+    /// Sets the per-frame cost budget enforced by pre-frame verification
+    /// (see [`FrameEngine::set_cost_budget`]).
+    pub fn set_cost_budget(&mut self, budget: redeye_verify::CostBudget) {
+        self.engine.set_cost_budget(budget);
     }
 }
 
@@ -735,8 +767,10 @@ impl FramePass<'_> {
     /// converts each through the bit-accurate SAR model, and returns the
     /// dequantized host-domain tensor plus the raw codes. Each feature is
     /// one noise site; bands run on per-worker ADC clones and energy is the
-    /// `conversions × per-conversion` product.
-    fn quantize(&mut self, bits: u32, x: &Tensor) -> Result<(Tensor, Vec<u32>)> {
+    /// `conversions × per-conversion` product. Also returns how many
+    /// features clipped at the 0 V lower rail (per-band counts summed in
+    /// band order, so the tally is thread-count independent).
+    fn quantize(&mut self, bits: u32, x: &Tensor) -> Result<(Tensor, Vec<u32>, u64)> {
         let stream = self.next_stream();
         let template = SarAdc::new(bits)?;
         // Gain staging: features (post-rectification, ≥ 0) map onto the ADC
@@ -747,19 +781,25 @@ impl FramePass<'_> {
         let src = x.as_slice();
         let mut codes = vec![0u32; n];
         let mut deq = vec![0.0f32; n];
-        let convert_band = |first: usize, cband: &mut [u32], dband: &mut [f32]| {
+        let convert_band = |first: usize, cband: &mut [u32], dband: &mut [f32]| -> u64 {
             let mut adc = template.clone();
+            let mut clips = 0u64;
             for (i, (code, d)) in cband.iter_mut().zip(dband.iter_mut()).enumerate() {
                 let idx = first + i;
                 let mut site = stream.at(idx as u64);
+                if src[idx] < 0.0 {
+                    clips += 1;
+                }
                 let conv = adc.convert(f64::from(src[idx].max(0.0)) / full_scale, &mut site);
                 *code = conv.code;
                 *d = (conv.reconstruct() * full_scale) as f32;
             }
+            clips
         };
         let threads = effective_threads(self.analog_threads, n);
+        let mut rail_clips = 0u64;
         if threads <= 1 {
-            convert_band(0, &mut codes, &mut deq);
+            rail_clips = convert_band(0, &mut codes, &mut deq);
         } else {
             let chunk = n.div_ceil(threads);
             crossbeam::thread::scope(|scope| {
@@ -773,7 +813,7 @@ impl FramePass<'_> {
                     })
                     .collect();
                 for h in handles {
-                    h.join().expect("quantize worker panicked");
+                    rail_clips += h.join().expect("quantize worker panicked");
                 }
             })
             .expect("quantize thread scope");
@@ -782,7 +822,7 @@ impl FramePass<'_> {
         self.ledger.conversions += n as u64;
         self.ledger.readout_bits += n as u64 * u64::from(bits);
         self.elapsed += template.time_per_conversion() * (n as f64 / self.columns);
-        Ok((Tensor::from_vec(deq, x.dims())?, codes))
+        Ok((Tensor::from_vec(deq, x.dims())?, codes, rail_clips))
     }
 }
 

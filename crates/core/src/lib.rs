@@ -69,8 +69,9 @@ pub use estimate::{EnergyBreakdown, Estimate, NoisePlan, RedEyeConfig, TimingBre
 pub use executor::{ExecutionResult, Executor, FrameCtx, FrameEngine, FrameOutput, NoiseMode};
 pub use partition::{partition_googlenet, Depth};
 pub use redeye_verify::{
-    verify, verify_with_limits, DiagClass, Diagnostic, Instruction, Program, Report,
-    ResourceLimits, Severity,
+    analyze_cost, analyze_ranges, verify, verify_with_limits, verify_with_options, CostBounds,
+    CostBudget, CostEstimate, DiagClass, Diagnostic, Instruction, Program, RangeSummary, Report,
+    ResourceLimits, Severity, VerifyOptions,
 };
 pub use sram::{FeatureSram, ProgramSram, FEATURE_SRAM_BYTES, KERNEL_SRAM_BYTES, TOTAL_SRAM_BYTES};
 

@@ -3,9 +3,10 @@
 //! of a correct program are each caught by the pass responsible for them.
 
 use proptest::prelude::*;
-use redeye_analog::SnrDb;
+use redeye_analog::{Joules, SnrDb};
 use redeye_core::{
-    compile, verify, CompileOptions, DiagClass, Instruction, Program, Severity, WeightBank,
+    compile, verify, verify_with_options, CompileOptions, CostBudget, DiagClass, Instruction,
+    Program, Severity, VerifyOptions, WeightBank,
 };
 use redeye_nn::{build_network, zoo, WeightInit};
 use redeye_tensor::Rng;
@@ -121,6 +122,55 @@ proptest! {
         prop_assert!(
             report.classes_at(Severity::Error).contains(&DiagClass::ResourceBudget),
             "expected a resource-budget error:\n{}", report.render()
+        );
+    }
+
+    /// Mutation: an always-saturating gain chain — a ReLU conv whose bias
+    /// sits far below any achievable pre-activation sum pins every output
+    /// at the rail; the signal-range pass proves it dead.
+    #[test]
+    fn mutation_saturating_gain_chain_is_caught(seed in 0u64..16, depress in 1e3f32..1e6) {
+        let mut program = compiled(
+            &zoo::micronet(8, 10), "pool3", seed, &CompileOptions::default(),
+        );
+        if let Instruction::Conv { bias, .. } = first_conv(&mut program.instructions) {
+            for b in bias.iter_mut() {
+                *b = -depress;
+            }
+        }
+        let report = verify(&program);
+        prop_assert!(report.has_errors());
+        prop_assert!(
+            report.classes_at(Severity::Error).contains(&DiagClass::SignalRange),
+            "expected a signal-range error:\n{}", report.render()
+        );
+        prop_assert!(
+            report.errors().any(|d| d.code == "RE0601"),
+            "expected RE0601:\n{}", report.render()
+        );
+    }
+
+    /// Mutation: a frame-energy cap below the program's provable lower
+    /// bound makes it statically over budget.
+    #[test]
+    fn mutation_over_budget_program_is_caught(seed in 0u64..16, cap_pj in 0.001f64..1.0) {
+        let program = compiled(
+            &zoo::micronet(8, 10), "pool3", seed, &CompileOptions::default(),
+        );
+        let report = verify_with_options(&program, &VerifyOptions {
+            budget: CostBudget {
+                max_frame_energy: Some(Joules::new(cap_pj * 1e-12)),
+                max_frame_time: None,
+            },
+            ..VerifyOptions::default()
+        });
+        prop_assert!(
+            report.classes_at(Severity::Error).contains(&DiagClass::CostModel),
+            "expected a cost-model error:\n{}", report.render()
+        );
+        prop_assert!(
+            report.errors().any(|d| d.code == "RE0701"),
+            "expected RE0701:\n{}", report.render()
         );
     }
 

@@ -1,0 +1,301 @@
+//! Pass 7 — static cost model (RE07xx).
+//!
+//! Recomputes, from shapes alone, exactly the per-op `count × unit-cost`
+//! products the executor's [`EnergyLedger`] charges at run time — same
+//! calibration constants (`redeye_analog::calib`), same damping energy
+//! scale, same column-parallel timing divisor, same depth-first
+//! accumulation order. The resulting *nominal* estimate therefore matches
+//! a real `FrameEngine` ledger bit-for-bit (the executor's charges are a
+//! pure function of the program; noise never reaches the ledger).
+//!
+//! Around the nominal, the pass brackets the cost across every process
+//! corner (`redeye_analog::ProcessCorner::ALL`): analog and controller
+//! energy scale by the corner's power factor, time (and with it the
+//! time-proportional controller energy) by its timing factor. The `lower ≤
+//! nominal = ledger ≤ upper` bracket is the differential contract the
+//! static-vs-dynamic test harness enforces.
+//!
+//! Against a configurable [`CostBudget`] the pass emits:
+//!
+//! - `RE0701` (error): even the lower energy bound exceeds the cap.
+//! - `RE0702` (warning): only the upper energy bound exceeds the cap.
+//! - `RE0703` (error): even the lower frame-time bound exceeds the cap.
+//! - `RE0704` (warning): only the upper frame-time bound exceeds the cap.
+//!
+//! [`EnergyLedger`]: https://docs.rs/redeye-core
+
+use crate::diag::{DiagClass, Diagnostic, Report, Severity};
+use crate::shape::Site;
+use crate::{Instruction, Program};
+use redeye_analog::calib::{
+    COMPARATOR_DECISION_TIME, COMPARATOR_ENERGY, CONTROLLER_CLOCK_MHZ, CONTROLLER_UW_PER_MHZ,
+    MAC_ENERGY_40DB, MAC_SETTLE_TIME_40DB, MEMORY_WRITE_ENERGY_40DB,
+};
+use redeye_analog::{
+    resolution_admissible, DampingConfig, Joules, ProcessCorner, SarAdc, Seconds, SnrDb, Watts,
+};
+use redeye_tensor::ConvGeom;
+use serde::Serialize;
+
+/// Per-frame cost caps for the RE07xx budget checks. Unset caps are not
+/// checked.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+pub struct CostBudget {
+    /// Maximum per-frame energy (analog + controller).
+    pub max_frame_energy: Option<Joules>,
+    /// Maximum per-frame latency.
+    pub max_frame_time: Option<Seconds>,
+}
+
+/// One point of the static cost model: per-frame energy and latency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct CostEstimate {
+    /// Per-frame energy, controller included.
+    pub energy: Joules,
+    /// Per-frame latency.
+    pub time: Seconds,
+}
+
+/// The static cost bounds for one program, plus the op counts they were
+/// derived from (these equal the dynamic ledger's counters exactly).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct CostBounds {
+    /// Minimum over all process corners.
+    pub lower: CostEstimate,
+    /// The typical-typical corner — equals the dynamic ledger bit-for-bit.
+    pub nominal: CostEstimate,
+    /// Maximum over all process corners.
+    pub upper: CostEstimate,
+    /// Analog MAC operations.
+    pub macs: u64,
+    /// Comparator decisions.
+    pub comparisons: u64,
+    /// Feature SRAM writes.
+    pub writes: u64,
+    /// SAR conversions.
+    pub conversions: u64,
+    /// Digital readout volume in bits.
+    pub readout_bits: u64,
+}
+
+fn diag(severity: Severity, code: &'static str, message: String) -> Diagnostic {
+    Diagnostic::new(severity, DiagClass::CostModel, code, message)
+}
+
+/// Runs the pass: computes bounds from the shape pass's sites and checks
+/// them against `budget`. Returns `None` (and emits no RE07xx diagnostics)
+/// when the program's cost is not statically derivable — the shape or noise
+/// passes have already reported why.
+pub(crate) fn run(
+    program: &Program,
+    sites: &[Site<'_>],
+    final_shape: Option<[usize; 3]>,
+    budget: &CostBudget,
+    report: &mut Report,
+) -> Option<CostBounds> {
+    let bounds = compute(program, sites, final_shape)?;
+    if let Some(cap) = budget.max_frame_energy {
+        let (lo, hi, cap_mj) = (
+            bounds.lower.energy.millis(),
+            bounds.upper.energy.millis(),
+            cap.millis(),
+        );
+        if bounds.lower.energy > cap {
+            report.push(
+                diag(
+                    Severity::Error,
+                    "RE0701",
+                    format!(
+                        "frame energy provably exceeds the {cap_mj:.6} mJ budget: corner \
+                         bounds [{lo:.6}, {hi:.6}] mJ"
+                    ),
+                )
+                .with_note(
+                    "the bounds bracket the dynamic ledger across all process corners \
+                     (TT/FF/SS/FS/SF); even the most favorable corner is over budget",
+                ),
+            );
+        } else if bounds.upper.energy > cap {
+            report.push(
+                diag(
+                    Severity::Warning,
+                    "RE0702",
+                    format!(
+                        "frame energy may exceed the {cap_mj:.6} mJ budget at unfavorable \
+                         process corners: bounds [{lo:.6}, {hi:.6}] mJ"
+                    ),
+                )
+                .with_note("the typical corner fits, but slow/fast-corner devices will not"),
+            );
+        }
+    }
+    if let Some(cap) = budget.max_frame_time {
+        let (lo, hi, cap_ms) = (
+            bounds.lower.time.millis(),
+            bounds.upper.time.millis(),
+            cap.millis(),
+        );
+        if bounds.lower.time > cap {
+            report.push(
+                diag(
+                    Severity::Error,
+                    "RE0703",
+                    format!(
+                        "frame latency provably exceeds the {cap_ms:.6} ms budget: corner \
+                         bounds [{lo:.6}, {hi:.6}] ms"
+                    ),
+                )
+                .with_note(
+                    "column-parallel settling, comparator, and SAR time alone exceed the cap \
+                     at every process corner",
+                ),
+            );
+        } else if bounds.upper.time > cap {
+            report.push(
+                diag(
+                    Severity::Warning,
+                    "RE0704",
+                    format!(
+                        "frame latency may exceed the {cap_ms:.6} ms budget at unfavorable \
+                         process corners: bounds [{lo:.6}, {hi:.6}] ms"
+                    ),
+                )
+                .with_note("the typical corner fits, but slow-corner devices will not"),
+            );
+        }
+    }
+    Some(bounds)
+}
+
+/// Accumulates the nominal ledger in executor order, then brackets it over
+/// the process corners.
+pub(crate) fn compute(
+    program: &Program,
+    sites: &[Site<'_>],
+    final_shape: Option<[usize; 3]>,
+) -> Option<CostBounds> {
+    let out_shape = final_shape?;
+    if !resolution_admissible(program.adc_bits) {
+        return None;
+    }
+    // The executor parallelizes across the *input width* worth of column
+    // slices (gain staging maps the image onto the array).
+    let columns = program.input[2].max(1) as f64;
+
+    let mut processing = Joules::zero();
+    let mut pooling = Joules::zero();
+    let mut memory = Joules::zero();
+    let mut quantization = Joules::zero();
+    let mut elapsed = Seconds::zero();
+    let (mut macs_total, mut comparisons, mut writes_total) = (0u64, 0u64, 0u64);
+
+    let mut charge_macs =
+        |processing: &mut Joules, elapsed: &mut Seconds, macs: u64, snr: SnrDb| {
+            let scale = DampingConfig::from_snr(snr).energy_scale();
+            *processing += MAC_ENERGY_40DB * (macs as f64 * scale);
+            *elapsed += MAC_SETTLE_TIME_40DB * (macs as f64 / columns);
+            macs_total += macs;
+        };
+    let mut charge_writes = |memory: &mut Joules, writes: u64, snr: SnrDb| {
+        let scale = DampingConfig::from_snr(snr).energy_scale();
+        *memory += MEMORY_WRITE_ENERGY_40DB * (writes as f64 * scale);
+        writes_total += writes;
+    };
+
+    // Sites are in depth-first visit order — the order the executor runs
+    // (and charges) instructions in, which makes the floating-point
+    // accumulation below reproduce the ledger exactly.
+    for site in sites {
+        let in_shape = site.in_shape?;
+        let out_len = match site.inst {
+            Instruction::Inception { .. } => continue, // branches charge themselves
+            _ => {
+                let [c, h, w] = site.out_shape?;
+                (c * h * w) as u64
+            }
+        };
+        match site.inst {
+            Instruction::Conv {
+                out_c,
+                kernel,
+                stride,
+                pad,
+                snr,
+                ..
+            } => {
+                let [c, h, w] = in_shape;
+                let geom = ConvGeom::new(c, h, w, *kernel, *kernel, *stride, *pad).ok()?;
+                charge_macs(&mut processing, &mut elapsed, geom.macs(*out_c), *snr);
+                charge_writes(&mut memory, out_len, *snr);
+            }
+            Instruction::MaxPool { window, .. } => {
+                // Fixed comparison schedule: window²−1 decisions per output,
+                // padding taps included.
+                let decisions = out_len * ((window * window) as u64 - 1);
+                pooling += COMPARATOR_ENERGY * decisions as f64;
+                comparisons += decisions;
+                elapsed += COMPARATOR_DECISION_TIME * (decisions as f64 / columns);
+                charge_writes(&mut memory, out_len, SnrDb::new(40.0));
+            }
+            Instruction::AvgPool { window, snr, .. } => {
+                let macs = out_len * (*window * *window) as u64;
+                charge_macs(&mut processing, &mut elapsed, macs, *snr);
+                charge_writes(&mut memory, out_len, *snr);
+            }
+            Instruction::Lrn { size, snr, .. } => {
+                let macs = out_len * (*size as u64 + 1);
+                charge_macs(&mut processing, &mut elapsed, macs, *snr);
+                charge_writes(&mut memory, out_len, *snr);
+            }
+            Instruction::Inception { .. } => unreachable!(),
+        }
+    }
+
+    // The SAR readout of the final feature map.
+    let template = SarAdc::new(program.adc_bits).ok()?;
+    let n = out_shape[0] * out_shape[1] * out_shape[2];
+    quantization += template.energy_per_conversion() * n as f64;
+    elapsed += template.time_per_conversion() * (n as f64 / columns);
+    let conversions = n as u64;
+    let readout_bits = conversions * u64::from(program.adc_bits);
+
+    // Controller energy is time-proportional (idle + sequencing power).
+    let controller_power =
+        Watts::new(CONTROLLER_UW_PER_MHZ * 1e-6 * CONTROLLER_CLOCK_MHZ * 1e6 / 1e6);
+    let analog = processing + pooling + memory + quantization;
+    let controller = controller_power * elapsed;
+    let nominal = CostEstimate {
+        energy: analog + controller,
+        time: elapsed,
+    };
+
+    let (mut lo_e, mut hi_e) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut lo_t, mut hi_t) = (f64::INFINITY, f64::NEG_INFINITY);
+    for corner in ProcessCorner::ALL {
+        let pf = corner.power_factor();
+        let tf = corner.timing_factor();
+        let time = elapsed.value() * tf;
+        let energy = analog.value() * pf + controller_power.value() * pf * time;
+        lo_e = lo_e.min(energy);
+        hi_e = hi_e.max(energy);
+        lo_t = lo_t.min(time);
+        hi_t = hi_t.max(time);
+    }
+
+    Some(CostBounds {
+        lower: CostEstimate {
+            energy: Joules::new(lo_e),
+            time: Seconds::new(lo_t),
+        },
+        nominal,
+        upper: CostEstimate {
+            energy: Joules::new(hi_e),
+            time: Seconds::new(hi_t),
+        },
+        macs: macs_total,
+        comparisons,
+        writes: writes_total,
+        conversions,
+        readout_bits,
+    })
+}

@@ -1,0 +1,173 @@
+//! The shared forward-dataflow engine every analysis pass runs on.
+//!
+//! The Program IR is a tree: a top-level instruction chain whose
+//! [`Instruction::Inception`] nodes each hold a list of branch chains that
+//! fork from the same input and concatenate along channels. The IR has no
+//! back-edges, so a *single* forward walk in program order is already the
+//! dataflow fixpoint — the "fixpoint engine" degenerates to one depth-first
+//! pass with a join at every inception. Passes plug in by implementing
+//! [`ForwardAnalysis`]: an abstract state, a per-instruction transfer
+//! function, and a join over inception branch exits. The engine owns the
+//! traversal mechanics that every pass used to duplicate: index-path
+//! bookkeeping, inception recursion, cut propagation (a transfer returning
+//! `None` kills the dataflow so downstream instructions see no state), and
+//! the executor-matching stage ordinal.
+//!
+//! Shape inference ([`crate::shape`]), noise admission ([`crate::noise`]),
+//! signal-range interval analysis ([`crate::signal`]) and the static cost
+//! model ([`crate::cost`]) all run on this engine.
+
+use crate::diag::Report;
+use crate::{Instruction, Program};
+
+/// Where in the program the instruction being visited sits.
+pub(crate) struct Ctx<'a> {
+    /// Instruction index path (see [`crate::Diagnostic::path`]).
+    pub path: &'a [usize],
+    /// Depth-first stage ordinal over non-inception instructions — the same
+    /// numbering the executor assigns noise streams in, so analyses can
+    /// speak about "stage N" consistently with runtime artifacts.
+    pub ordinal: usize,
+}
+
+/// A forward abstract interpretation over the Program IR.
+///
+/// `'p` is the program's lifetime: analyses may retain `&'p Instruction`
+/// references (the shape pass's sites do).
+pub(crate) trait ForwardAnalysis<'p> {
+    /// The abstract value flowing along an edge of the instruction chain.
+    type State: Clone;
+
+    /// Transfer function for a non-inception instruction. Returning `None`
+    /// cuts the dataflow: downstream instructions are visited through
+    /// [`Self::visit_unreachable`] instead.
+    fn transfer(
+        &mut self,
+        inst: &'p Instruction,
+        state: &Self::State,
+        ctx: &Ctx<'_>,
+        report: &mut Report,
+    ) -> Option<Self::State>;
+
+    /// Join for an inception node. `exits` holds one entry per branch, in
+    /// branch order: the branch chain's exit state, or `None` if that branch
+    /// cut (an empty branch exits with `state` untouched — passthrough).
+    /// The engine has already walked every branch from a clone of `state`.
+    fn join(
+        &mut self,
+        inst: &'p Instruction,
+        state: &Self::State,
+        exits: &[Option<Self::State>],
+        ctx: &Ctx<'_>,
+        report: &mut Report,
+    ) -> Option<Self::State>;
+
+    /// Visit for an instruction the dataflow no longer reaches (downstream
+    /// of a cut), so passes can still run state-independent checks on it.
+    fn visit_unreachable(&mut self, inst: &'p Instruction, ctx: &Ctx<'_>, report: &mut Report) {
+        let _ = (inst, ctx, report);
+    }
+
+    /// Called once, after the walk, when the *top-level* chain was cut at
+    /// index `cut` and instructions remain after it.
+    fn chain_cut(&mut self, insts: &'p [Instruction], cut: usize, report: &mut Report) {
+        let _ = (insts, cut, report);
+    }
+}
+
+/// Runs `analysis` forward over the whole program from `start` and returns
+/// the exit state at the readout, or `None` if the dataflow was cut (or
+/// `start` was already `None`, in which case every instruction is visited
+/// as unreachable).
+pub(crate) fn run<'p, A: ForwardAnalysis<'p>>(
+    program: &'p Program,
+    start: Option<A::State>,
+    analysis: &mut A,
+    report: &mut Report,
+) -> Option<A::State> {
+    let mut ordinal = 0usize;
+    walk(
+        &program.instructions,
+        &[],
+        start,
+        true,
+        &mut ordinal,
+        analysis,
+        report,
+    )
+}
+
+/// Walks one chain. Inception branch sites are visited *before* the
+/// inception's own join — the depth-first program order the executor runs
+/// in and the site-consuming passes (first-use tracking) depend on.
+fn walk<'p, A: ForwardAnalysis<'p>>(
+    insts: &'p [Instruction],
+    prefix: &[usize],
+    start: Option<A::State>,
+    top_level: bool,
+    ordinal: &mut usize,
+    analysis: &mut A,
+    report: &mut Report,
+) -> Option<A::State> {
+    let mut cur = start;
+    let mut cut_at: Option<usize> = None;
+    for (i, inst) in insts.iter().enumerate() {
+        let mut path = prefix.to_vec();
+        path.push(i);
+        let reachable = cur.is_some();
+        let out = match inst {
+            Instruction::Inception { branches, .. } => {
+                let state = cur.clone();
+                let mut exits = Vec::with_capacity(branches.len());
+                for (bi, branch) in branches.iter().enumerate() {
+                    let mut bpath = path.clone();
+                    bpath.push(bi);
+                    exits.push(walk(
+                        branch,
+                        &bpath,
+                        state.clone(),
+                        false,
+                        ordinal,
+                        analysis,
+                        report,
+                    ));
+                }
+                let ctx = Ctx {
+                    path: &path,
+                    ordinal: *ordinal,
+                };
+                match &state {
+                    Some(s) => analysis.join(inst, s, &exits, &ctx, report),
+                    None => {
+                        analysis.visit_unreachable(inst, &ctx, report);
+                        None
+                    }
+                }
+            }
+            _ => {
+                let ctx = Ctx {
+                    path: &path,
+                    ordinal: *ordinal,
+                };
+                *ordinal += 1;
+                match &cur {
+                    Some(s) => analysis.transfer(inst, s, &ctx, report),
+                    None => {
+                        analysis.visit_unreachable(inst, &ctx, report);
+                        None
+                    }
+                }
+            }
+        };
+        if reachable && out.is_none() && cut_at.is_none() {
+            cut_at = Some(i);
+        }
+        cur = out;
+    }
+    if top_level {
+        if let Some(i) = cut_at {
+            analysis.chain_cut(insts, i, report);
+        }
+    }
+    cur
+}

@@ -45,6 +45,10 @@ pub enum DiagClass {
     ResourceBudget,
     /// Program vs. the network spec it claims to implement.
     SpecConformance,
+    /// Interval/noise abstract interpretation of the analog signal chain.
+    SignalRange,
+    /// Static per-frame energy/latency bounds vs. the configured budget.
+    CostModel,
 }
 
 impl fmt::Display for DiagClass {
@@ -55,6 +59,8 @@ impl fmt::Display for DiagClass {
             DiagClass::NoiseAdmission => write!(f, "noise-admission"),
             DiagClass::ResourceBudget => write!(f, "resource-budget"),
             DiagClass::SpecConformance => write!(f, "spec-conformance"),
+            DiagClass::SignalRange => write!(f, "signal-range"),
+            DiagClass::CostModel => write!(f, "cost-model"),
         }
     }
 }
@@ -216,6 +222,24 @@ impl Report {
             .collect()
     }
 
+    /// Sorts diagnostics into the canonical presentation order and drops
+    /// exact duplicates.
+    ///
+    /// The order is `(code, path, severity, layer, message, note)`: code
+    /// first so related findings group together, then the instruction index
+    /// path (the program-order "span"). Because the order is a pure function
+    /// of diagnostic content, rendering is stable no matter which pass ran
+    /// first or how passes interleave — the property the golden-snapshot
+    /// suite and `redeye-lint` JSON artifacts rely on. Entry points call
+    /// this before returning; it is idempotent and safe to call again.
+    pub fn normalize(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            (a.code, &a.path, a.severity, &a.layer, &a.message, &a.note)
+                .cmp(&(b.code, &b.path, b.severity, &b.layer, &b.message, &b.note))
+        });
+        self.diagnostics.dedup();
+    }
+
     /// Renders the full rustc-style listing, ending with a summary line.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -291,6 +315,23 @@ mod tests {
         assert!(classes.contains(&DiagClass::ShapeDataflow));
         assert!(!classes.contains(&DiagClass::ResourceBudget));
         assert!(r.render().contains("1 error(s), 1 warning(s), 1 note(s)"));
+    }
+
+    #[test]
+    fn normalize_sorts_by_code_then_path_and_dedups() {
+        let mut r = Report::new("p");
+        let late = Diagnostic::new(Severity::Warning, DiagClass::NoiseAdmission, "RE0302", "w")
+            .at_path(&[2]);
+        let early =
+            Diagnostic::new(Severity::Error, DiagClass::ShapeDataflow, "RE0101", "e").at_path(&[5]);
+        let mid = Diagnostic::new(Severity::Error, DiagClass::ShapeDataflow, "RE0101", "e")
+            .at_path(&[1, 0]);
+        r.push(late.clone());
+        r.push(early.clone());
+        r.push(mid.clone());
+        r.push(early.clone()); // duplicate
+        r.normalize();
+        assert_eq!(r.diagnostics, vec![mid, early, late]);
     }
 
     #[test]

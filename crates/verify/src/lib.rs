@@ -26,6 +26,18 @@
 //! 5. **Spec conformance** ([`DiagClass::SpecConformance`], `RE05xx`, only
 //!    via [`verify_against_spec`]) — the program faithfully implements the
 //!    [`NetworkSpec`] it was compiled from.
+//! 6. **Signal range** ([`DiagClass::SignalRange`], `RE06xx`) — abstract
+//!    interpretation over an interval-with-noise domain: provable rail
+//!    saturation and dead (always-rectified or constant) signals are
+//!    errors, sub-rail excursions and noise-dominated readouts warnings.
+//! 7. **Cost model** ([`DiagClass::CostModel`], `RE07xx`) — static
+//!    energy/latency bounds from the executor's own per-op cost constants,
+//!    bracketed over process corners and checked against a [`CostBudget`].
+//!
+//! Passes 1, 3, and 6 all run on one shared forward-dataflow engine over
+//! the Program IR (the `dataflow` module); the IR is acyclic, so a single
+//! program-order walk with a join at each inception is the fixpoint. Pass 7
+//! consumes the shape pass's per-instruction sites.
 //!
 //! ## Entry points
 //!
@@ -38,40 +50,75 @@
 //! ```
 //!
 //! [`verify`] checks against the paper's default resources;
-//! [`verify_with_limits`] parameterizes them; [`verify_against_spec`] adds
-//! the conformance pass. All entry points always run every pass and return
-//! the full [`Report`] — policy (deny errors, deny warnings, ignore) is the
-//! caller's decision.
+//! [`verify_with_limits`] parameterizes them; [`verify_with_options`] adds
+//! the cost budget; [`verify_against_spec`] adds the conformance pass.
+//! All entry points always run every pass and return the full [`Report`]
+//! (diagnostics in canonical order, see [`Report::normalize`]) — policy
+//! (deny errors, deny warnings, ignore) is the caller's decision.
+//! [`analyze_cost`] and [`analyze_ranges`] expose the passes' underlying
+//! analysis results for tooling.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 mod codes;
 mod conformance;
+mod cost;
+mod dataflow;
 mod diag;
 mod limits;
 mod noise;
 mod program;
 mod resources;
 mod shape;
+mod signal;
 
+pub use cost::{CostBounds, CostBudget, CostEstimate};
 pub use diag::{DiagClass, Diagnostic, Report, Severity};
 pub use limits::ResourceLimits;
 pub use program::{Instruction, Program};
+pub use signal::RangeSummary;
 
 use redeye_nn::NetworkSpec;
+
+/// Everything the full verification pipeline can be parameterized on.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct VerifyOptions {
+    /// Physical resource limits (SRAM capacities, column count).
+    pub limits: ResourceLimits,
+    /// Per-frame cost caps for the RE07xx budget checks.
+    pub budget: CostBudget,
+}
 
 /// Verifies a program against the paper's default resource limits.
 #[must_use]
 pub fn verify(program: &Program) -> Report {
-    verify_with_limits(program, &ResourceLimits::default())
+    verify_with_options(program, &VerifyOptions::default())
 }
 
 /// Verifies a program against explicit resource limits.
 #[must_use]
 pub fn verify_with_limits(program: &Program, limits: &ResourceLimits) -> Report {
+    verify_with_options(
+        program,
+        &VerifyOptions {
+            limits: *limits,
+            budget: CostBudget::default(),
+        },
+    )
+}
+
+/// Verifies a program with explicit resource limits and cost budget.
+#[must_use]
+pub fn verify_with_options(program: &Program, options: &VerifyOptions) -> Report {
     let mut report = Report::new(&program.name);
-    let (sites, final_shape) = shape::analyze(program, limits, &mut report);
+    let (sites, final_shape) = shape::analyze(program, &options.limits, &mut report);
     codes::run(&sites, &mut report);
     noise::run(program, &mut report);
-    resources::run(program, &sites, final_shape, limits, &mut report);
+    signal::run(program, &mut report, false);
+    resources::run(program, &sites, final_shape, &options.limits, &mut report);
+    cost::run(program, &sites, final_shape, &options.budget, &mut report);
+    report.normalize();
     report
 }
 
@@ -85,7 +132,28 @@ pub fn verify_against_spec(
 ) -> Report {
     let mut report = verify_with_limits(program, limits);
     conformance::run(program, spec, &mut report);
+    report.normalize();
     report
+}
+
+/// Computes the static per-frame cost bounds for a program, or `None` when
+/// the cost is not statically derivable (shape errors, inadmissible ADC
+/// depth). The nominal point equals a `FrameEngine` ledger exactly; the
+/// bounds bracket it over all process corners.
+#[must_use]
+pub fn analyze_cost(program: &Program) -> Option<CostBounds> {
+    let mut scratch = Report::new(&program.name);
+    let (sites, final_shape) = shape::analyze(program, &ResourceLimits::default(), &mut scratch);
+    cost::compute(program, &sites, final_shape)
+}
+
+/// Computes the per-instruction signal envelope table (the `--ranges`
+/// view): one row per instruction the signal dataflow reaches, in
+/// depth-first program order, in volts at the analog swing.
+#[must_use]
+pub fn analyze_ranges(program: &Program) -> Vec<RangeSummary> {
+    let mut scratch = Report::new(&program.name);
+    signal::run(program, &mut scratch, true)
 }
 
 #[cfg(test)]

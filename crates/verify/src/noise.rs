@@ -8,7 +8,13 @@
 //! capacitance (E ∝ 1/V̄n²) without improving output fidelity, and an ADC
 //! bit depth far finer than the chain SNR burns conversion energy (E ∝ 2ⁿ)
 //! digitizing noise.
+//!
+//! Runs on the shared [`crate::dataflow`] engine with the minimum upstream
+//! SNR (in dB) as the abstract state; the inception join takes the minimum
+//! over branch exits, since the concatenated output is only as clean as its
+//! noisiest branch.
 
+use crate::dataflow::{self, Ctx, ForwardAnalysis};
 use crate::diag::{DiagClass, Diagnostic, Report, Severity};
 use crate::{Instruction, Program};
 use redeye_analog::{
@@ -28,13 +34,9 @@ fn diag(severity: Severity, code: &'static str, message: String) -> Diagnostic {
 }
 
 pub(crate) fn run(program: &Program, report: &mut Report) {
-    let mut min_upstream = f64::INFINITY;
-    walk(
-        &program.instructions,
-        &mut Vec::new(),
-        &mut min_upstream,
-        report,
-    );
+    let mut analysis = NoiseAnalysis;
+    let min_upstream = dataflow::run(program, Some(f64::INFINITY), &mut analysis, report)
+        .expect("noise dataflow never cuts");
 
     let bits = program.adc_bits;
     if resolution_admissible(bits) {
@@ -63,42 +65,59 @@ pub(crate) fn run(program: &Program, report: &mut Report) {
     }
 }
 
-fn walk(insts: &[Instruction], path: &mut Vec<usize>, min_upstream: &mut f64, report: &mut Report) {
-    for (i, inst) in insts.iter().enumerate() {
-        path.push(i);
+/// State: the minimum SNR (dB) any upstream producer has limited the signal
+/// to; `f64::INFINITY` before the first noisy stage.
+struct NoiseAnalysis;
+
+impl ForwardAnalysis<'_> for NoiseAnalysis {
+    type State = f64;
+
+    fn transfer(
+        &mut self,
+        inst: &Instruction,
+        state: &f64,
+        ctx: &Ctx<'_>,
+        report: &mut Report,
+    ) -> Option<f64> {
         match inst {
             Instruction::Conv { name, snr, .. }
             | Instruction::AvgPool { name, snr, .. }
             | Instruction::Lrn { name, snr, .. } => {
-                check_layer(name, *snr, path, min_upstream, report);
+                Some(check_layer(name, *snr, *state, ctx.path, report))
             }
-            Instruction::MaxPool { .. } => {}
-            Instruction::Inception { branches, .. } => {
-                let base = *min_upstream;
-                let mut merged = f64::INFINITY;
-                for (bi, branch) in branches.iter().enumerate() {
-                    let mut branch_min = base;
-                    path.push(bi);
-                    walk(branch, path, &mut branch_min, report);
-                    path.pop();
-                    merged = merged.min(branch_min);
-                }
-                if merged.is_finite() {
-                    *min_upstream = merged;
-                }
-            }
+            // The comparator selects, it does not re-damp: SNR flows through.
+            Instruction::MaxPool { .. } => Some(*state),
+            Instruction::Inception { .. } => unreachable!("engine routes inception through join"),
         }
-        path.pop();
+    }
+
+    fn join(
+        &mut self,
+        _inst: &Instruction,
+        state: &f64,
+        exits: &[Option<f64>],
+        _ctx: &Ctx<'_>,
+        _report: &mut Report,
+    ) -> Option<f64> {
+        let merged = exits
+            .iter()
+            .flatten()
+            .fold(f64::INFINITY, |acc, &e| acc.min(e));
+        if merged.is_finite() {
+            Some(merged)
+        } else {
+            Some(*state)
+        }
     }
 }
 
 fn check_layer(
     name: &str,
     snr: SnrDb,
+    min_upstream: f64,
     path: &[usize],
-    min_upstream: &mut f64,
     report: &mut Report,
-) {
+) -> f64 {
     if !snr_admissible(snr) {
         report.push(
             diag(
@@ -113,7 +132,7 @@ fn check_layer(
             .at_layer(name)
             .at_path(path),
         );
-        return;
+        return min_upstream;
     }
     if !snr_in_tunable_band(snr) {
         report.push(
@@ -130,7 +149,7 @@ fn check_layer(
             .at_path(path),
         );
     }
-    if snr.db() > *min_upstream + WASTE_MARGIN_DB {
+    if snr.db() > min_upstream + WASTE_MARGIN_DB {
         report.push(
             diag(
                 Severity::Warning,
@@ -148,5 +167,5 @@ fn check_layer(
             ),
         );
     }
-    *min_upstream = min_upstream.min(snr.db());
+    min_upstream.min(snr.db())
 }

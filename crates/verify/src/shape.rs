@@ -7,10 +7,13 @@
 //! and inputs wider than the physical column array are all rejected before
 //! anything executes.
 //!
-//! The pass doubles as the dataflow engine for the other passes: it returns
-//! a [`Site`] per visited instruction (nested inception instructions
-//! included) carrying the inferred input/output shapes.
+//! The pass runs on the shared [`crate::dataflow`] engine and additionally
+//! records a [`Site`] per visited instruction (nested inception
+//! instructions included) carrying the inferred input/output shapes — the
+//! site list is the substrate the code-range, resource, and cost passes
+//! consume.
 
+use crate::dataflow::{self, Ctx, ForwardAnalysis};
 use crate::diag::{DiagClass, Diagnostic, Report, Severity};
 use crate::limits::ResourceLimits;
 use crate::{Instruction, Program};
@@ -23,8 +26,13 @@ pub(crate) struct Site<'p> {
     pub inst: &'p Instruction,
     /// Index path into the program (see [`Diagnostic::path`]).
     pub path: Vec<usize>,
+    /// Depth-first stage ordinal (executor noise-stream numbering).
+    #[allow(dead_code)]
+    pub ordinal: usize,
     /// Inferred input shape, when the dataflow reaches this instruction.
     pub in_shape: Option<[usize; 3]>,
+    /// Inferred output shape, when the instruction can execute.
+    pub out_shape: Option<[usize; 3]>,
 }
 
 fn err(code: &'static str, message: String) -> Diagnostic {
@@ -61,173 +69,143 @@ pub(crate) fn analyze<'p>(
             ),
         );
     }
-    let mut sites = Vec::new();
-    let final_shape = walk_chain(&program.instructions, &[], start, &mut sites, report, true);
-    (sites, final_shape)
+    let mut analysis = ShapeAnalysis { sites: Vec::new() };
+    let final_shape = dataflow::run(program, start, &mut analysis, report);
+    (analysis.sites, final_shape)
 }
 
-/// Propagates shapes through a linear chain, pushing one [`Site`] per
-/// instruction. Returns the chain's output shape, or `None` once an error
-/// cuts the dataflow. At the top level (`note_unreachable`), instructions
-/// past the cut are reported as unreachable before the readout.
-fn walk_chain<'p>(
-    insts: &'p [Instruction],
-    prefix: &[usize],
-    start: Option<[usize; 3]>,
-    sites: &mut Vec<Site<'p>>,
-    report: &mut Report,
-    note_unreachable: bool,
-) -> Option<[usize; 3]> {
-    let mut cur = start;
-    let mut cut_at: Option<usize> = None;
-    for (i, inst) in insts.iter().enumerate() {
-        let mut path = prefix.to_vec();
-        path.push(i);
-        let out = match cur {
-            Some(shape) => transfer(inst, shape, &path, sites, report),
-            None => {
-                visit_unknown(inst, &path, sites);
-                None
-            }
-        };
-        if cur.is_some() && out.is_none() && cut_at.is_none() {
-            cut_at = Some(i);
-        }
-        sites.push(Site {
-            inst,
-            path,
-            in_shape: cur,
-        });
-        cur = out;
-    }
-    if note_unreachable {
-        if let Some(i) = cut_at {
-            if i + 1 < insts.len() {
-                let names: Vec<&str> = insts[i + 1..].iter().map(Instruction::name).collect();
-                report.push(
-                    Diagnostic::new(
-                        Severity::Note,
-                        DiagClass::ShapeDataflow,
-                        "RE0105",
-                        format!(
-                            "{} instruction(s) unreachable after the dataflow cut at `{}`: {}",
-                            names.len(),
-                            insts[i].name(),
-                            names.join(", ")
-                        ),
-                    )
-                    .at_path(&[i + 1]),
-                );
-            }
-        }
-    }
-    cur
+struct ShapeAnalysis<'p> {
+    sites: Vec<Site<'p>>,
 }
 
-/// The per-instruction shape transfer function. Pushes nested sites for
-/// inception branches; returns `None` when the instruction cannot execute.
-fn transfer<'p>(
-    inst: &'p Instruction,
-    shape: [usize; 3],
-    path: &[usize],
-    sites: &mut Vec<Site<'p>>,
-    report: &mut Report,
-) -> Option<[usize; 3]> {
-    let [c, h, w] = shape;
-    match inst {
-        Instruction::Conv {
-            name,
-            out_c,
-            kernel,
-            stride,
-            pad,
-            ..
-        } => {
-            if *out_c == 0 {
-                report.push(
-                    err("RE0102", format!("conv `{name}` has zero output channels"))
-                        .at_layer(name)
-                        .at_path(path),
-                );
-                return None;
+impl<'p> ForwardAnalysis<'p> for ShapeAnalysis<'p> {
+    type State = [usize; 3];
+
+    fn transfer(
+        &mut self,
+        inst: &'p Instruction,
+        state: &[usize; 3],
+        ctx: &Ctx<'_>,
+        report: &mut Report,
+    ) -> Option<[usize; 3]> {
+        let shape = *state;
+        let [c, h, w] = shape;
+        let out = match inst {
+            Instruction::Conv {
+                name,
+                out_c,
+                kernel,
+                stride,
+                pad,
+                ..
+            } => {
+                if *out_c == 0 {
+                    report.push(
+                        err("RE0102", format!("conv `{name}` has zero output channels"))
+                            .at_layer(name)
+                            .at_path(ctx.path),
+                    );
+                    None
+                } else {
+                    match ConvGeom::new(c, h, w, *kernel, *kernel, *stride, *pad) {
+                        Ok(geom) => Some([*out_c, geom.out_h(), geom.out_w()]),
+                        Err(e) => {
+                            report.push(
+                                err(
+                                    "RE0101",
+                                    format!("conv `{name}` cannot apply to {c}x{h}x{w}: {e}"),
+                                )
+                                .at_layer(name)
+                                .at_path(ctx.path),
+                            );
+                            None
+                        }
+                    }
+                }
             }
-            match ConvGeom::new(c, h, w, *kernel, *kernel, *stride, *pad) {
-                Ok(geom) => Some([*out_c, geom.out_h(), geom.out_w()]),
+            Instruction::MaxPool {
+                name,
+                window,
+                stride,
+                pad,
+            }
+            | Instruction::AvgPool {
+                name,
+                window,
+                stride,
+                pad,
+                ..
+            } => match PoolGeom::new(c, h, w, *window, *stride, *pad) {
+                Ok(geom) => Some([c, geom.out_h(), geom.out_w()]),
                 Err(e) => {
                     report.push(
                         err(
                             "RE0101",
-                            format!("conv `{name}` cannot apply to {c}x{h}x{w}: {e}"),
+                            format!("pool `{name}` cannot apply to {c}x{h}x{w}: {e}"),
                         )
                         .at_layer(name)
-                        .at_path(path),
+                        .at_path(ctx.path),
                     );
                     None
                 }
-            }
-        }
-        Instruction::MaxPool {
-            name,
-            window,
-            stride,
-            pad,
-        }
-        | Instruction::AvgPool {
-            name,
-            window,
-            stride,
-            pad,
-            ..
-        } => match PoolGeom::new(c, h, w, *window, *stride, *pad) {
-            Ok(geom) => Some([c, geom.out_h(), geom.out_w()]),
-            Err(e) => {
-                report.push(
-                    err(
-                        "RE0101",
-                        format!("pool `{name}` cannot apply to {c}x{h}x{w}: {e}"),
-                    )
-                    .at_layer(name)
-                    .at_path(path),
-                );
-                None
-            }
-        },
-        Instruction::Lrn { name, size, .. } => {
-            if *size == 0 {
-                report.push(
-                    err(
-                        "RE0101",
-                        format!("LRN `{name}` channel window must be positive"),
-                    )
-                    .at_layer(name)
-                    .at_path(path),
-                );
-                // Shape is unaffected by LRN; keep analyzing downstream.
-            }
-            Some(shape)
-        }
-        Instruction::Inception { name, branches } => {
-            if branches.is_empty() {
-                report.push(
-                    err("RE0104", format!("inception `{name}` has zero branches"))
+            },
+            Instruction::Lrn { name, size, .. } => {
+                if *size == 0 {
+                    report.push(
+                        err(
+                            "RE0101",
+                            format!("LRN `{name}` channel window must be positive"),
+                        )
                         .at_layer(name)
-                        .at_path(path),
-                );
-                return None;
+                        .at_path(ctx.path),
+                    );
+                    // Shape is unaffected by LRN; keep analyzing downstream.
+                }
+                Some(shape)
             }
+            Instruction::Inception { .. } => unreachable!("engine routes inception through join"),
+        };
+        self.sites.push(Site {
+            inst,
+            path: ctx.path.to_vec(),
+            ordinal: ctx.ordinal,
+            in_shape: Some(shape),
+            out_shape: out,
+        });
+        out
+    }
+
+    fn join(
+        &mut self,
+        inst: &'p Instruction,
+        state: &[usize; 3],
+        exits: &[Option<[usize; 3]>],
+        ctx: &Ctx<'_>,
+        report: &mut Report,
+    ) -> Option<[usize; 3]> {
+        let Instruction::Inception { name, branches } = inst else {
+            unreachable!("join is only called on inception nodes")
+        };
+        let out = if branches.is_empty() {
+            report.push(
+                err("RE0104", format!("inception `{name}` has zero branches"))
+                    .at_layer(name)
+                    .at_path(ctx.path),
+            );
+            None
+        } else {
             let mut out_c = 0usize;
             let mut out_hw: Option<(usize, usize)> = None;
             let mut ok = true;
-            for (bi, branch) in branches.iter().enumerate() {
-                let mut bpath = path.to_vec();
-                bpath.push(bi);
-                let bout = walk_chain(branch, &bpath, Some(shape), sites, report, false);
+            for (bi, bout) in exits.iter().enumerate() {
                 match bout {
                     Some([bc, bh, bw]) => {
                         out_c += bc;
                         match out_hw {
-                            None => out_hw = Some((bh, bw)),
-                            Some((ph, pw)) if (ph, pw) != (bh, bw) => {
+                            None => out_hw = Some((*bh, *bw)),
+                            Some((ph, pw)) if (ph, pw) != (*bh, *bw) => {
+                                let mut bpath = ctx.path.to_vec();
+                                bpath.push(bi);
                                 report.push(
                                     err(
                                         "RE0103",
@@ -251,31 +229,50 @@ fn transfer<'p>(
                     None => ok = false,
                 }
             }
-            if !ok {
-                return None;
+            if ok {
+                let (fh, fw) = out_hw.expect("non-empty branches");
+                Some([out_c, fh, fw])
+            } else {
+                None
             }
-            let (fh, fw) = out_hw.expect("non-empty branches");
-            Some([out_c, fh, fw])
-        }
+        };
+        self.sites.push(Site {
+            inst,
+            path: ctx.path.to_vec(),
+            ordinal: ctx.ordinal,
+            in_shape: Some(*state),
+            out_shape: out,
+        });
+        out
     }
-}
 
-/// Visits instructions whose input shape is unknown (downstream of a cut),
-/// so later passes can still run their shape-independent checks on them.
-fn visit_unknown<'p>(inst: &'p Instruction, path: &[usize], sites: &mut Vec<Site<'p>>) {
-    if let Instruction::Inception { branches, .. } = inst {
-        for (bi, branch) in branches.iter().enumerate() {
-            for (i, binst) in branch.iter().enumerate() {
-                let mut bpath = path.to_vec();
-                bpath.push(bi);
-                bpath.push(i);
-                visit_unknown(binst, &bpath, sites);
-                sites.push(Site {
-                    inst: binst,
-                    path: bpath,
-                    in_shape: None,
-                });
-            }
+    fn visit_unreachable(&mut self, inst: &'p Instruction, ctx: &Ctx<'_>, _report: &mut Report) {
+        self.sites.push(Site {
+            inst,
+            path: ctx.path.to_vec(),
+            ordinal: ctx.ordinal,
+            in_shape: None,
+            out_shape: None,
+        });
+    }
+
+    fn chain_cut(&mut self, insts: &'p [Instruction], cut: usize, report: &mut Report) {
+        if cut + 1 < insts.len() {
+            let names: Vec<&str> = insts[cut + 1..].iter().map(Instruction::name).collect();
+            report.push(
+                Diagnostic::new(
+                    Severity::Note,
+                    DiagClass::ShapeDataflow,
+                    "RE0105",
+                    format!(
+                        "{} instruction(s) unreachable after the dataflow cut at `{}`: {}",
+                        names.len(),
+                        insts[cut].name(),
+                        names.join(", ")
+                    ),
+                )
+                .at_path(&[cut + 1]),
+            );
         }
     }
 }
