@@ -9,7 +9,7 @@ use redeye_core::{
 };
 use redeye_nn::{build_network, summarize, zoo, WeightInit};
 use redeye_system::scenario;
-use redeye_tensor::{gemm, matmul_naive, Rng, Tensor, Workspace};
+use redeye_tensor::{gemm, gemm_i8_into, matmul_naive, PackBuffersI8, Rng, Tensor, Workspace};
 
 /// Fig. 7 / Table I path: the analytic GoogLeNet estimator at all depths.
 fn bench_estimator(c: &mut Criterion) {
@@ -179,6 +179,31 @@ fn bench_gemm(c: &mut Criterion) {
     }
 }
 
+/// The integer code-domain GEMM engine against the f32 engine at the
+/// Depth3 GoogLeNet conv shape (inception_3a 3×3 branch as lowered by
+/// im2col: m=192 filters, k=576 patch, n=3249 positions) — the workload
+/// behind the executor's `MacDomain::CodeI8` fast path.
+fn bench_gemm_i8(c: &mut Criterion) {
+    let (m, k, n) = (192usize, 576, 3249);
+    let mut rng = Rng::seed_from(3);
+    let a = Tensor::uniform(&[m, k], -1.0, 1.0, &mut rng);
+    let b = Tensor::uniform(&[k, n], -1.0, 1.0, &mut rng);
+    let ai: Vec<i8> = a.iter().map(|&v| (v * 127.0) as i8).collect();
+    let bi: Vec<i8> = b.iter().map(|&v| (v * 127.0) as i8).collect();
+    let mut ws = Workspace::new();
+    let mut packs = PackBuffersI8::new();
+    let mut acc = vec![0i32; m * n];
+    c.bench_function("gemm/i8_vs_f32/f32_depth3", |bch| {
+        bch.iter(|| gemm(&mut ws, false, false, &a, &b, 1).unwrap());
+    });
+    c.bench_function("gemm/i8_vs_f32/i8_depth3", |bch| {
+        bch.iter(|| {
+            gemm_i8_into(&mut packs, false, false, &ai, &bi, &mut acc, m, n, k, 1);
+            std::hint::black_box(&acc);
+        });
+    });
+}
+
 /// Depth sweep of the analytic path used by the partition explorer.
 fn bench_depths(c: &mut Criterion) {
     let config = RedEyeConfig::default();
@@ -208,6 +233,7 @@ criterion_group!(
     bench_circuits,
     bench_ablation,
     bench_gemm,
+    bench_gemm_i8,
     bench_depths
 );
 criterion_main!(benches);

@@ -12,42 +12,30 @@
 //! - **Throughput** (`BENCH_throughput.json`): sustained frames/sec over a
 //!   frame stream — the serial per-frame path against the batched
 //!   persistent-worker-pool engine at worker counts 1/2/4, per depth.
+//! - **GEMM i8** (`BENCH_gemm_i8.json`, via `--gemm-i8`): the integer
+//!   code-domain GEMM engine against the f32 engine at the Depth3 conv
+//!   shape, single thread.
 //!
-//! GEMM/analog rows are `{name, wall_ms, threads}`; throughput rows are
-//! `{name, frames, wall_ms, fps, workers}`.
+//! GEMM/analog/gemm-i8 rows are `{name, wall_ms, threads}`; throughput
+//! rows are `{name, frames, wall_ms, fps, workers}`.
 //!
 //! Usage: `cargo run --release -p redeye-bench --bin perf [-- FLAGS]`
 //!
 //! - `--analog-only`: run only the analog section.
 //! - `--throughput`: run only the throughput section.
+//! - `--gemm-i8`: run only the integer-GEMM section.
 //! - `--smoke`: CI-sized run — Depth1 only, fewer reps, smaller kernels.
 
+use redeye_bench::schema::{Row, ThroughputRow};
 use redeye_bench::workload::{self, DepthScenario};
 use redeye_core::{BatchExecutor, Depth, Executor, NoiseMode};
 use redeye_nn::{build_network, zoo, Network, NetworkSpec, WeightInit};
 use redeye_sim::{extract_params, instrument, AccuracyHarness, InstrumentOptions};
-use redeye_tensor::{gemm, matmul_naive, NoiseSource, NoiseStream, Rng, Tensor, Workspace};
-use serde::Serialize;
+use redeye_tensor::{
+    gemm, gemm_i8_into, matmul_naive, NoiseSource, NoiseStream, PackBuffersI8, Rng, Tensor,
+    Workspace,
+};
 use std::time::Instant;
-
-/// One benchmark observation.
-#[derive(Serialize)]
-struct Row {
-    name: String,
-    wall_ms: f64,
-    threads: usize,
-}
-
-/// One frame-throughput observation: `fps` is the headline
-/// continuous-vision metric, `wall_ms` the batch wall time behind it.
-#[derive(Serialize)]
-struct ThroughputRow {
-    name: String,
-    frames: usize,
-    wall_ms: f64,
-    fps: f64,
-    workers: usize,
-}
 
 /// Wall-clock milliseconds of the best of `reps` runs (best-of filters
 /// scheduler noise without needing a statistics stack).
@@ -106,6 +94,53 @@ fn bench_gemm(rows: &mut Vec<Row>, size: usize, threads: usize) {
         name: format!("gemm_{size}_packed"),
         wall_ms: packed_n_ms,
         threads,
+    });
+}
+
+/// The integer code-domain GEMM engine against the f32 engine at the
+/// Depth3 GoogLeNet conv shape (inception_3a 3×3 branch lowered by
+/// im2col: m=192 filters, k=576 patch, n=3249 positions), single thread —
+/// the acceptance workload for the executor's `MacDomain::CodeI8` path.
+fn bench_gemm_i8(rows: &mut Vec<Row>, smoke: bool) {
+    let (m, k, n) = (192usize, 576, 3249);
+    let mut rng = Rng::seed_from(3);
+    let a = Tensor::uniform(&[m, k], -1.0, 1.0, &mut rng);
+    let b = Tensor::uniform(&[k, n], -1.0, 1.0, &mut rng);
+    let ai: Vec<i8> = a.iter().map(|&v| (v * 127.0) as i8).collect();
+    let bi: Vec<i8> = b.iter().map(|&v| (v * 127.0) as i8).collect();
+    let mut ws = Workspace::new();
+    let mut packs = PackBuffersI8::new();
+    let mut acc = vec![0i32; m * n];
+    // Warm both engines to their pack high-water marks before timing.
+    gemm(&mut ws, false, false, &a, &b, 1).expect("gemm");
+    gemm_i8_into(&mut packs, false, false, &ai, &bi, &mut acc, m, n, k, 1);
+
+    let reps = if smoke { 3 } else { 7 };
+    let mut f32_ms = f64::INFINITY;
+    let mut i8_ms = f64::INFINITY;
+    for _ in 0..reps {
+        f32_ms = f32_ms.min(best_of(1, || {
+            gemm(&mut ws, false, false, &a, &b, 1).expect("gemm");
+        }));
+        i8_ms = i8_ms.min(best_of(1, || {
+            gemm_i8_into(&mut packs, false, false, &ai, &bi, &mut acc, m, n, k, 1);
+            std::hint::black_box(&acc);
+        }));
+    }
+
+    println!(
+        "gemm i8 depth3 ({m}x{k}x{n}): f32 {f32_ms:.2} ms | i8 {i8_ms:.2} ms ({:.2}x)",
+        f32_ms / i8_ms,
+    );
+    rows.push(Row {
+        name: "gemm_i8_depth3_f32".into(),
+        wall_ms: f32_ms,
+        threads: 1,
+    });
+    rows.push(Row {
+        name: "gemm_i8_depth3_i8".into(),
+        wall_ms: i8_ms,
+        threads: 1,
     });
 }
 
@@ -358,6 +393,16 @@ fn main() {
     let smoke = args.iter().any(|a| a == "--smoke");
     let analog_only = args.iter().any(|a| a == "--analog-only");
     let throughput_only = args.iter().any(|a| a == "--throughput");
+    let gemm_i8_only = args.iter().any(|a| a == "--gemm-i8");
+
+    if gemm_i8_only {
+        let mut rows: Vec<Row> = Vec::new();
+        bench_gemm_i8(&mut rows, smoke);
+        let json = serde_json::to_string_pretty(&rows).expect("serialize rows");
+        std::fs::write("BENCH_gemm_i8.json", json).expect("write BENCH_gemm_i8.json");
+        println!("wrote BENCH_gemm_i8.json ({} rows)", rows.len());
+        return;
+    }
 
     if !analog_only && !throughput_only {
         let mut rows: Vec<Row> = Vec::new();

@@ -1,0 +1,64 @@
+//! Validates `BENCH_*.json` perf reports against the report schema
+//! ([`redeye_bench::schema`]).
+//!
+//! CI runs this after the perf smokes: every report the smokes wrote must
+//! parse as a non-empty array of exactly one row shape, so schema drift in
+//! the `perf` binary fails the build before a malformed artifact ships.
+//!
+//! Usage: `cargo run -p redeye-bench --bin validate_bench [-- FILES...]`
+//!
+//! With no arguments, validates every `BENCH_*.json` in the current
+//! directory and fails if none exist (a missing report usually means a
+//! perf smoke silently didn't run).
+
+use redeye_bench::schema::{validate_report, ReportShape};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn discover() -> Vec<PathBuf> {
+    let mut found: Vec<PathBuf> = std::fs::read_dir(".")
+        .expect("read current directory")
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            let name = path.file_name()?.to_str()?;
+            (name.starts_with("BENCH_") && name.ends_with(".json")).then_some(path)
+        })
+        .collect();
+    found.sort();
+    found
+}
+
+fn main() -> ExitCode {
+    let args: Vec<PathBuf> = std::env::args().skip(1).map(PathBuf::from).collect();
+    let files = if args.is_empty() { discover() } else { args };
+    if files.is_empty() {
+        eprintln!("no BENCH_*.json reports found in the current directory");
+        return ExitCode::FAILURE;
+    }
+
+    let mut failed = false;
+    for path in &files {
+        let name = path.display();
+        let json = match std::fs::read_to_string(path) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("{name}: unreadable: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match validate_report(&json) {
+            Ok(ReportShape::WallClock(n)) => println!("{name}: ok ({n} wall-clock rows)"),
+            Ok(ReportShape::Throughput(n)) => println!("{name}: ok ({n} throughput rows)"),
+            Err(e) => {
+                eprintln!("{name}: INVALID: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

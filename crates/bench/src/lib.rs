@@ -29,4 +29,5 @@
 
 pub mod figures;
 pub mod report;
+pub mod schema;
 pub mod workload;

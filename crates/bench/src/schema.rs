@@ -1,0 +1,124 @@
+//! The JSON schema of the `BENCH_*.json` perf reports.
+//!
+//! The `perf` binary emits machine-readable benchmark reports that CI
+//! uploads as artifacts; downstream tooling (trend dashboards, regression
+//! diffing) parses them. These types are the single definition of that
+//! contract: the binary serializes through them and the `validate_bench`
+//! binary deserializes every report back through them, so a report that
+//! drifts from the schema fails the build instead of silently breaking
+//! consumers.
+//!
+//! Two row shapes exist:
+//!
+//! - [`Row`] — wall-clock sections (`BENCH_gemm.json`, `BENCH_analog.json`,
+//!   `BENCH_gemm_i8.json`): `{name, wall_ms, threads}`;
+//! - [`ThroughputRow`] — frame-stream sections (`BENCH_throughput.json`):
+//!   `{name, frames, wall_ms, fps, workers}`.
+//!
+//! Required-field sets are disjoint (`threads` vs `frames`/`fps`/
+//! `workers`), so every well-formed report matches exactly one shape.
+
+use serde::{Deserialize, Serialize};
+
+/// One wall-clock benchmark observation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// Benchmark identifier, e.g. `gemm_512_packed`.
+    pub name: String,
+    /// Best-of wall time in milliseconds.
+    pub wall_ms: f64,
+    /// Worker threads the observation ran with.
+    pub threads: usize,
+}
+
+/// One frame-throughput observation: `fps` is the headline
+/// continuous-vision metric, `wall_ms` the batch wall time behind it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputRow {
+    /// Benchmark identifier, e.g. `throughput_depth3_batch`.
+    pub name: String,
+    /// Frames in the measured stream.
+    pub frames: usize,
+    /// Batch wall time in milliseconds.
+    pub wall_ms: f64,
+    /// Sustained frames per second.
+    pub fps: f64,
+    /// Pool worker count the observation ran with.
+    pub workers: usize,
+}
+
+/// Which schema a report parsed as, plus its row count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportShape {
+    /// A `Vec<Row>` report with this many rows.
+    WallClock(usize),
+    /// A `Vec<ThroughputRow>` report with this many rows.
+    Throughput(usize),
+}
+
+/// Validates one `BENCH_*.json` report body against the schema.
+///
+/// A report must parse as a non-empty array of exactly one row shape.
+/// Returns the shape and row count, or a human-readable description of
+/// why the report is malformed.
+pub fn validate_report(json: &str) -> Result<ReportShape, String> {
+    let as_rows = serde_json::from_str::<Vec<Row>>(json).map(|r| r.len());
+    let as_throughput = serde_json::from_str::<Vec<ThroughputRow>>(json).map(|r| r.len());
+    match (as_rows, as_throughput) {
+        (Ok(0), _) | (_, Ok(0)) => Err("report is an empty array".into()),
+        (Ok(n), Err(_)) => Ok(ReportShape::WallClock(n)),
+        (Err(_), Ok(n)) => Ok(ReportShape::Throughput(n)),
+        (Ok(_), Ok(_)) => Err("report matches both row shapes (schema drift?)".into()),
+        (Err(e), Err(_)) => Err(format!("report matches neither row shape: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_reports_validate() {
+        let json = r#"[{"name": "gemm_256_packed", "wall_ms": 1.5, "threads": 1}]"#;
+        assert_eq!(validate_report(json), Ok(ReportShape::WallClock(1)));
+    }
+
+    #[test]
+    fn throughput_reports_validate() {
+        let json = r#"[
+            {"name": "throughput_d1_serial", "frames": 8, "wall_ms": 10.0,
+             "fps": 800.0, "workers": 1},
+            {"name": "throughput_d1_batch", "frames": 8, "wall_ms": 6.0,
+             "fps": 1333.3, "workers": 2}
+        ]"#;
+        assert_eq!(validate_report(json), Ok(ReportShape::Throughput(2)));
+    }
+
+    #[test]
+    fn round_trip_through_serialization() {
+        let rows = vec![Row {
+            name: "gemm_i8_depth3_i8".into(),
+            wall_ms: 4.4,
+            threads: 1,
+        }];
+        let json = serde_json::to_string_pretty(&rows).unwrap();
+        assert_eq!(validate_report(&json), Ok(ReportShape::WallClock(1)));
+    }
+
+    #[test]
+    fn malformed_reports_are_rejected() {
+        // Empty: parses as both shapes, carries no observations.
+        assert!(validate_report("[]").is_err());
+        // Not an array.
+        assert!(validate_report(r#"{"name": "x"}"#).is_err());
+        // Missing field.
+        let missing = r#"[{"name": "x", "wall_ms": 1.0}]"#;
+        assert!(validate_report(missing).is_err());
+        // Mixed shapes in one report.
+        let mixed = r#"[
+            {"name": "x", "wall_ms": 1.0, "threads": 1},
+            {"name": "y", "frames": 4, "wall_ms": 1.0, "fps": 4000.0, "workers": 2}
+        ]"#;
+        assert!(validate_report(mixed).is_err());
+    }
+}

@@ -257,6 +257,7 @@ impl BatchExecutor {
                 elapsed: out.elapsed,
                 forced_decisions: self.forced_total,
                 rail_clips: out.rail_clips,
+                code_mac_hits: out.code_mac_hits,
             });
         }
         self.next_frame += n as u64;

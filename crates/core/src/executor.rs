@@ -46,7 +46,8 @@ use redeye_analog::calib::{
 };
 use redeye_analog::{Comparator, DampingConfig, SarAdc, Seconds, SnrDb};
 use redeye_tensor::{
-    gemm_into, im2col_into, ConvGeom, NoiseSource, NoiseStream, PoolGeom, Tensor, Workspace,
+    gemm_i8_into, gemm_into, im2col_into, ConvGeom, NoiseSource, NoiseStream, PackBuffersI8,
+    PoolGeom, Tensor, Workspace,
 };
 use std::sync::OnceLock;
 
@@ -70,6 +71,10 @@ pub struct ExecutionResult {
     /// in this frame (negative residues are clamped before conversion).
     /// Zero whenever the signal-range pass proved the program clean.
     pub rail_clips: u64,
+    /// Conv instructions whose noiseless MAC ran in the integer code
+    /// domain this frame (always 0 under [`MacDomain::F32`]; under
+    /// [`MacDomain::CodeI8`] the dynamic exactness checks decide).
+    pub code_mac_hits: u64,
 }
 
 /// Raw output of one frame through a [`FrameEngine`], before any cross-frame
@@ -95,6 +100,9 @@ pub struct FrameOutput {
     /// Feature values that clipped at the SAR quantizer's 0 V lower rail
     /// in this frame.
     pub rail_clips: u64,
+    /// Conv instructions whose noiseless MAC ran in the integer code
+    /// domain this frame.
+    pub code_mac_hits: u64,
 }
 
 /// How the executor draws per-element Gaussian layer noise.
@@ -112,6 +120,32 @@ pub enum NoiseMode {
     /// Pair-amortized batched sampling (default).
     #[default]
     Batched,
+}
+
+/// Which arithmetic domain the noiseless conv MAC runs in.
+///
+/// RedEye's weights are signed 8-bit DAC codes by construction, so the
+/// noiseless part of the MAC array is an *integer* product. Under
+/// [`MacDomain::CodeI8`] each conv's matrix product runs through the packed
+/// i8×i8→i32 engine ([`redeye_tensor::gemm_i8_into`]) whenever the
+/// instruction and the frame's activations are exactly representable in the
+/// code domain, converting back to the voltage domain only at the site
+/// where the layer's Gaussian noise is injected. The fast path is
+/// *dynamically verified* per instruction — power-of-two weight scale,
+/// codes within the DAC range, activations snapping losslessly onto an
+/// 8-bit power-of-two grid, and partial sums bounded under the f32
+/// mantissa — and falls back to the f32 engine otherwise, so the output is
+/// **always bit-identical** to [`MacDomain::F32`]; the two paths differ
+/// only in speed. [`FrameOutput::code_mac_hits`] reports how often the fast
+/// path engaged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MacDomain {
+    /// Reconstruct weights to `f32` and multiply in the voltage domain
+    /// (reference path, default).
+    #[default]
+    F32,
+    /// Integer code-domain fast path with per-instruction f32 fallback.
+    CodeI8,
 }
 
 /// Minimum number of analog sites in a stage before it shards across
@@ -145,6 +179,8 @@ pub struct FrameEngine {
     analog_threads: usize,
     /// Gaussian sampling strategy for the layer-noise stage.
     noise_mode: NoiseMode,
+    /// Arithmetic domain for the noiseless conv MAC.
+    mac_domain: MacDomain,
     /// Per-frame cost caps enforced during pre-frame verification.
     budget: redeye_verify::CostBudget,
     /// Set once the program passes static verification; checked lazily on
@@ -165,6 +201,7 @@ impl FrameEngine {
             gemm_threads: 1,
             analog_threads: 1,
             noise_mode: NoiseMode::default(),
+            mac_domain: MacDomain::default(),
             budget: redeye_verify::CostBudget::default(),
             verified: OnceLock::new(),
         }
@@ -204,6 +241,18 @@ impl FrameEngine {
     /// The active Gaussian sampling strategy.
     pub fn noise_mode(&self) -> NoiseMode {
         self.noise_mode
+    }
+
+    /// Selects the arithmetic domain for the noiseless conv MAC. Both
+    /// domains produce bit-identical output; [`MacDomain::CodeI8`] is the
+    /// integer fast path with per-instruction dynamic fallback.
+    pub fn set_mac_domain(&mut self, domain: MacDomain) {
+        self.mac_domain = domain;
+    }
+
+    /// The active MAC arithmetic domain.
+    pub fn mac_domain(&self) -> MacDomain {
+        self.mac_domain
     }
 
     /// The loaded program.
@@ -262,15 +311,18 @@ impl FrameEngine {
         }
         let mut pass = FramePass {
             ws: &mut ctx.ws,
+            code: &mut ctx.code,
             stream: self.stream.frame_substream(frame),
             ordinal: 0,
             columns: self.columns,
             gemm_threads: self.gemm_threads,
             analog_threads: self.analog_threads,
             noise_mode: self.noise_mode,
+            mac_domain: self.mac_domain,
             ledger: EnergyLedger::new(),
             elapsed: Seconds::zero(),
             forced: 0,
+            code_mac_hits: 0,
         };
         // The input tensor is borrowed, not cloned: instruction outputs move
         // through `owned`, and the first instruction reads `input` directly.
@@ -285,6 +337,7 @@ impl FrameEngine {
             mut ledger,
             elapsed,
             forced,
+            code_mac_hits,
             ..
         } = pass;
         ledger.controller = crate::estimate::controller_power() * elapsed;
@@ -295,6 +348,7 @@ impl FrameEngine {
             elapsed,
             forced,
             rail_clips,
+            code_mac_hits,
         })
     }
 }
@@ -311,10 +365,24 @@ pub struct FrameCtx {
     /// Reusable `im2col`/GEMM scratch shared by every conv instruction;
     /// grows to the program's high-water mark on the first frame.
     ws: Workspace,
+    /// Reusable code-domain staging (i8 operands, i32 accumulator) for the
+    /// [`MacDomain::CodeI8`] fast path.
+    code: CodeScratch,
     /// The frame-substream label the next sequential frame executes under.
     next_frame: u64,
     /// Cumulative forced comparator decisions across this context's frames.
     forced_total: u64,
+}
+
+/// Reusable staging for the code-domain MAC fast path: the conv weights'
+/// i8 codes, the activations' snapped i8 codes, and the i32 accumulator.
+/// Like the [`Workspace`], buffers grow to the high-water mark and are then
+/// reused frame after frame.
+#[derive(Debug, Default)]
+struct CodeScratch {
+    weights: Vec<i8>,
+    cols: Vec<i8>,
+    acc: Vec<i32>,
 }
 
 impl FrameCtx {
@@ -424,6 +492,17 @@ impl Executor {
         self.engine.noise_mode()
     }
 
+    /// Selects the arithmetic domain for the noiseless conv MAC (see
+    /// [`MacDomain`]). Both domains produce bit-identical output.
+    pub fn set_mac_domain(&mut self, domain: MacDomain) {
+        self.engine.set_mac_domain(domain);
+    }
+
+    /// The active MAC arithmetic domain.
+    pub fn mac_domain(&self) -> MacDomain {
+        self.engine.mac_domain()
+    }
+
     /// The loaded program.
     pub fn program(&self) -> &Program {
         self.engine.program()
@@ -479,6 +558,7 @@ impl Executor {
             elapsed: out.elapsed,
             forced_decisions: forced_total,
             rail_clips: out.rail_clips,
+            code_mac_hits: out.code_mac_hits,
         })
     }
 
@@ -496,6 +576,7 @@ impl Executor {
 /// instruction is scheduled or sharded.
 struct FramePass<'a> {
     ws: &'a mut Workspace,
+    code: &'a mut CodeScratch,
     stream: NoiseStream,
     /// Next instruction ordinal (DFS order through inception branches).
     ordinal: u64,
@@ -503,9 +584,12 @@ struct FramePass<'a> {
     gemm_threads: usize,
     analog_threads: usize,
     noise_mode: NoiseMode,
+    mac_domain: MacDomain,
     ledger: EnergyLedger,
     elapsed: Seconds,
     forced: u64,
+    /// Conv instructions the code-domain fast path handled this frame.
+    code_mac_hits: u64,
 }
 
 impl FramePass<'_> {
@@ -544,28 +628,48 @@ impl FramePass<'_> {
                         reason: format!("conv `{name}` weight dims inconsistent"),
                     });
                 }
-                // Reconstruct the DAC-applied weights and run the ideal MAC
-                // array as a matrix product (each output is one damped node).
-                let weights = Tensor::from_vec(
-                    codes.iter().map(|&c| c as f32 * scale).collect(),
-                    &[*out_c, patch],
-                )?;
                 let positions = geom.out_positions();
-                let (cols, packs) = self.ws.split_im2col_packs();
+                let (cols, packs, packs_i8) = self.ws.split_im2col_all_packs();
                 im2col_into(x, &geom, cols)?;
                 let mut out = vec![0.0f32; *out_c * positions];
-                gemm_into(
-                    packs,
-                    false,
-                    false,
-                    weights.as_slice(),
-                    cols,
-                    &mut out,
-                    *out_c,
-                    positions,
-                    patch,
-                    self.gemm_threads,
-                );
+                // The ideal MAC array is a matrix product (each output is
+                // one damped node). Under CodeI8 it runs in the integer
+                // code domain when the dynamic exactness checks pass; the
+                // fallback — and the F32 reference — reconstruct the
+                // DAC-applied weights and multiply in the voltage domain.
+                let code_hit = self.mac_domain == MacDomain::CodeI8
+                    && code_domain_mac(
+                        self.code,
+                        packs_i8,
+                        codes,
+                        *scale,
+                        cols,
+                        &mut out,
+                        *out_c,
+                        positions,
+                        patch,
+                        self.gemm_threads,
+                    );
+                if code_hit {
+                    self.code_mac_hits += 1;
+                } else {
+                    let weights = Tensor::from_vec(
+                        codes.iter().map(|&c| c as f32 * scale).collect(),
+                        &[*out_c, patch],
+                    )?;
+                    gemm_into(
+                        packs,
+                        false,
+                        false,
+                        weights.as_slice(),
+                        cols,
+                        &mut out,
+                        *out_c,
+                        positions,
+                        patch,
+                        self.gemm_threads,
+                    );
+                }
                 for (oc, &b) in bias.iter().enumerate() {
                     for v in &mut out[oc * positions..(oc + 1) * positions] {
                         *v += b;
@@ -776,7 +880,15 @@ impl FramePass<'_> {
         // Gain staging: features (post-rectification, ≥ 0) map onto the ADC
         // full scale; negative residues clip at the lower rail.
         let vmax = x.iter().fold(0.0f32, |m, &v| m.max(v));
-        let full_scale = if vmax > 0.0 { f64::from(vmax) } else { 1.0 };
+        // Floor the full scale at the smallest normal f32: a subnormal
+        // maximum (a degenerate all-≈0 frame) would otherwise set a gain of
+        // up to ~2^126 and blow the reconstruction up to ±inf. Such frames
+        // carry no signal, so the 1 V default scale applies.
+        let full_scale = if vmax >= f32::MIN_POSITIVE {
+            f64::from(vmax)
+        } else {
+            1.0
+        };
         let n = x.len();
         let src = x.as_slice();
         let mut codes = vec![0u32; n];
@@ -824,6 +936,142 @@ impl FramePass<'_> {
         self.elapsed += template.time_per_conversion() * (n as f64 / self.columns);
         Ok((Tensor::from_vec(deq, x.dims())?, codes, rail_clips))
     }
+}
+
+/// `2^e` as an exact f32 built from the exponent bits, or `None` outside
+/// the normal range `[-126, 127]`.
+fn pow2f(e: i32) -> Option<f32> {
+    if (-126..=127).contains(&e) {
+        Some(f32::from_bits(((e + 127) as u32) << 23))
+    } else {
+        None
+    }
+}
+
+/// The smallest exponent `ea` with `127·2^ea ≥ vmax` (clamped into the
+/// normal range from below), i.e. the tightest power-of-two activation
+/// step whose 8-bit code grid covers the plane. `vmax` must be finite and
+/// positive; the result then always lands in the normal range (at
+/// `e = 127` the coverage product overflows to `+inf`, which terminates
+/// the walk), so [`pow2f`] of it is always `Some`.
+fn code_step_exponent(vmax: f32) -> i32 {
+    let mut e = (((vmax.to_bits() >> 23) & 0xff) as i32 - 127 - 6).max(-126);
+    while e <= 127 && pow2f(e).is_some_and(|s| s * 127.0 < vmax) {
+        e += 1;
+    }
+    e
+}
+
+/// Attempts the integer code-domain MAC for one conv instruction, filling
+/// `out` and returning `true` only when the product is *provably
+/// bit-identical* to the f32 reference path:
+///
+/// 1. the weight scale is a normal power of two `2^ew`, so the
+///    reconstructed weights `c_w·2^ew` are exact f32 values;
+/// 2. every weight code is within the signed 8-bit DAC range (|c| ≤ 127);
+/// 3. every im2col activation snaps losslessly onto an 8-bit code grid at
+///    a power-of-two step `2^ea` (verified by exact reconstruction, which
+///    also rejects NaN/infinite activations and underflowed snaps);
+/// 4. the combined exponent `ew+ea` keeps every value normal with 2²⁴ of
+///    headroom below overflow; and
+/// 5. `max_row(Σ|c_w|)·max|c_x| < 2²⁴`, so every partial sum — in *any*
+///    accumulation order — is an integer multiple of `2^(ew+ea)` with a
+///    magnitude inside the f32 mantissa.
+///
+/// Under those conditions the f32 engine's blocked float accumulation
+/// commits no rounding at all, `i32` accumulation trivially commits none,
+/// and converting the integer result back through `(s as f32)·2^(ew+ea)`
+/// reproduces the f32 path's output bit for bit. Any failed check falls
+/// back (`false`, `out` untouched) — so `CodeI8` never changes results,
+/// only speed.
+#[allow(clippy::too_many_arguments)]
+fn code_domain_mac(
+    scratch: &mut CodeScratch,
+    packs: &mut PackBuffersI8,
+    codes: &[i32],
+    scale: f32,
+    cols: &[f32],
+    out: &mut [f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    threads: usize,
+) -> bool {
+    // (1) Normal power-of-two weight scale.
+    if !scale.is_normal() || scale <= 0.0 || scale.to_bits() & 0x007f_ffff != 0 {
+        return false;
+    }
+    let ew = ((scale.to_bits() >> 23) & 0xff) as i32 - 127;
+    // (2) Codes within the DAC range, gathering the row-wise L1 maximum
+    // for the partial-sum bound while staging the i8 operand.
+    scratch.weights.clear();
+    scratch.weights.reserve(codes.len());
+    let mut row_l1_max = 0i64;
+    for row in codes.chunks(k.max(1)) {
+        let mut l1 = 0i64;
+        for &c in row {
+            if !(-127..=127).contains(&c) {
+                return false;
+            }
+            l1 += i64::from(c.unsigned_abs());
+            scratch.weights.push(c as i8);
+        }
+        row_l1_max = row_l1_max.max(l1);
+    }
+    // (3) Tightest power-of-two activation step; verify every activation
+    // reconstructs exactly from its snapped 8-bit code.
+    let vmax = cols.iter().fold(0.0f32, |acc, &v| acc.max(v.abs()));
+    if !vmax.is_finite() {
+        return false;
+    }
+    let ea = if vmax == 0.0 {
+        0
+    } else {
+        code_step_exponent(vmax)
+    };
+    let (Some(step), Some(inv_step)) = (pow2f(ea), pow2f(-ea)) else {
+        return false;
+    };
+    scratch.cols.clear();
+    scratch.cols.reserve(cols.len());
+    let mut cx_max = 0i64;
+    for &v in cols {
+        let c = v * inv_step;
+        let ci = c as i32; // saturating cast; NaN → 0
+        if !(-127..=127).contains(&ci) || ci as f32 * step != v {
+            return false;
+        }
+        cx_max = cx_max.max(i64::from(ci.unsigned_abs()));
+        scratch.cols.push(ci as i8);
+    }
+    // (4) Combined scale normal, with integer sums < 2²⁴ kept finite.
+    let e = ew + ea;
+    let Some(back) = pow2f(e) else { return false };
+    if e > 101 {
+        return false;
+    }
+    // (5) Partial sums bounded under the f32 mantissa.
+    if row_l1_max.saturating_mul(cx_max) >= 1 << 24 {
+        return false;
+    }
+    scratch.acc.clear();
+    scratch.acc.resize(out.len(), 0);
+    gemm_i8_into(
+        packs,
+        false,
+        false,
+        &scratch.weights,
+        &scratch.cols,
+        &mut scratch.acc,
+        m,
+        n,
+        k,
+        threads,
+    );
+    for (o, &s) in out.iter_mut().zip(scratch.acc.iter()) {
+        *o = s as f32 * back;
+    }
+    true
 }
 
 /// The thread count a stage of `sites` elements actually uses under a
@@ -1287,5 +1535,143 @@ mod tests {
         // inception_a output 40×16×16 pooled to 40×8×8.
         assert_eq!(result.features.dims(), &[40, 8, 8]);
         assert!(result.ledger.analog_total().value() > 0.0);
+    }
+
+    /// Compiles the micronet prefix for the integer code-domain MAC
+    /// (power-of-two kernel scales).
+    fn code_domain_program(snr_db: f64, adc_bits: u32) -> Program {
+        let spec = zoo::micronet(8, 10);
+        let prefix = spec.prefix_through("pool3").unwrap();
+        let mut rng = Rng::seed_from(17);
+        let mut net = build_network(&prefix, WeightInit::HeNormal, &mut rng).unwrap();
+        let mut bank = WeightBank::from_network(&mut net);
+        let opts = CompileOptions {
+            weight_bits: 8,
+            snr: SnrDb::new(snr_db),
+            adc_bits,
+            mac_domain: MacDomain::CodeI8,
+            ..CompileOptions::default()
+        };
+        compile(&prefix, &mut bank, &opts).unwrap()
+    }
+
+    /// A sensor frame whose every pixel sits exactly on the 8-bit
+    /// power-of-two code grid `k/128` — the raw-ADC-output case the
+    /// code-domain fast path is designed for.
+    fn grid_snapped_input() -> Tensor {
+        let data: Vec<f32> = (0..3 * 32 * 32).map(|i| (i % 128) as f32 / 128.0).collect();
+        Tensor::from_vec(data, &[3, 32, 32]).unwrap()
+    }
+
+    #[test]
+    fn code_domain_fast_path_engages_and_is_bit_identical() {
+        let program = code_domain_program(40.0, 8);
+        let input = grid_snapped_input();
+
+        let mut reference = Executor::new(program.clone(), 5);
+        let want = reference.execute(&input).unwrap();
+        assert_eq!(reference.mac_domain(), MacDomain::F32);
+        assert_eq!(want.code_mac_hits, 0, "F32 path never counts code hits");
+
+        let mut fast = Executor::new(program, 5);
+        fast.set_mac_domain(MacDomain::CodeI8);
+        let got = fast.execute(&input).unwrap();
+        // conv1 sees the snapped sensor plane and must take the integer
+        // path; deeper convs see noisy activations and may fall back.
+        assert!(got.code_mac_hits >= 1, "fast path never engaged");
+        assert_eq!(want.features, got.features, "features drifted");
+        assert_eq!(want.codes, got.codes, "ADC codes drifted");
+        assert!(want.ledger == got.ledger, "energy accounting drifted");
+        assert_eq!(want.elapsed.value(), got.elapsed.value());
+    }
+
+    #[test]
+    fn code_domain_falls_back_on_unsnappable_activations() {
+        // Arbitrary floats do not reconstruct exactly from any 8-bit
+        // power-of-two grid, so every conv must take the f32 path — and the
+        // result must still be bit-identical to a plain F32 run.
+        let program = code_domain_program(40.0, 8);
+        let mut rng = Rng::seed_from(6);
+        let input = Tensor::uniform(&[3, 32, 32], 0.0, 1.0, &mut rng);
+        let want = Executor::new(program.clone(), 5).execute(&input).unwrap();
+        let mut fast = Executor::new(program, 5);
+        fast.set_mac_domain(MacDomain::CodeI8);
+        let got = fast.execute(&input).unwrap();
+        assert_eq!(
+            got.code_mac_hits, 0,
+            "unsnappable input engaged the fast path"
+        );
+        assert_eq!(want.features, got.features);
+        assert_eq!(want.codes, got.codes);
+    }
+
+    #[test]
+    fn code_domain_fast_path_declines_non_pow2_scales() {
+        // A program compiled for the default F32 domain carries range-tight
+        // (generally non-power-of-two) kernel scales; forcing CodeI8 on the
+        // executor must dynamically fall back, never alter results.
+        let (program, _) = micronet_program(40.0, 8);
+        let input = grid_snapped_input();
+        let want = Executor::new(program.clone(), 5).execute(&input).unwrap();
+        let mut fast = Executor::new(program, 5);
+        fast.set_mac_domain(MacDomain::CodeI8);
+        let got = fast.execute(&input).unwrap();
+        assert_eq!(want.features, got.features);
+        assert_eq!(want.codes, got.codes);
+    }
+
+    #[test]
+    fn quantize_survives_degenerate_subnormal_frames() {
+        // An all-subnormal feature plane used to pass the `vmax > 0` gain
+        // gate and normalize the noise floor up to the ADC full scale.
+        // With the epsilon floor the frame reads as no-signal: unit full
+        // scale, all-zero codes, finite (≈0) features.
+        let program = Program::new(
+            "degenerate",
+            [1, 4, 4],
+            vec![Instruction::MaxPool {
+                name: "p".into(),
+                window: 2,
+                stride: 2,
+                pad: 0,
+            }],
+            8,
+        );
+        let mut exec = Executor::new(program, 31);
+        let input = Tensor::full(&[1, 4, 4], 1.0e-39);
+        let result = exec.execute(&input).unwrap();
+        assert!(result.features.iter().all(|v| v.is_finite()));
+        // ADC-internal comparator noise may flip the odd LSB on a ≈0 V
+        // input, but nothing should land anywhere near the upper codes the
+        // old gain staging produced (the plane maximum mapped to full
+        // scale, i.e. code 255).
+        assert!(
+            result.codes.iter().all(|&c| c <= 2),
+            "noise floor was amplified to full scale: codes {:?}",
+            result.codes
+        );
+        assert!(
+            result.features.iter().all(|v| v.abs() < 0.05),
+            "degenerate frame produced full-scale features"
+        );
+    }
+
+    #[test]
+    fn code_step_exponent_covers_the_plane_tightly() {
+        for vmax in [0.25f32, 0.5, 0.9921875, 1.0, 3.7, 127.0, 1.0e-30] {
+            let e = code_step_exponent(vmax);
+            let step = pow2f(e).unwrap();
+            assert!(step * 127.0 >= vmax, "step 2^{e} too small for {vmax}");
+            if let Some(half) = pow2f(e - 1) {
+                if e > -126 {
+                    assert!(half * 127.0 < vmax, "step 2^{e} not tight for {vmax}");
+                }
+            }
+        }
+        // Even the largest finite plane stays inside the normal exponent
+        // range (the e = 127 coverage product overflows to +inf and ends
+        // the walk), so the downstream pow2f gate always has a step.
+        let e = code_step_exponent(f32::MAX);
+        assert!(pow2f(e).is_some(), "f32::MAX walked out of range: {e}");
     }
 }

@@ -66,7 +66,9 @@ pub use compile::{compile, CompileOptions, VerifyPolicy, WeightBank};
 pub use energy::EnergyLedger;
 pub use error::CoreError;
 pub use estimate::{EnergyBreakdown, Estimate, NoisePlan, RedEyeConfig, TimingBreakdown};
-pub use executor::{ExecutionResult, Executor, FrameCtx, FrameEngine, FrameOutput, NoiseMode};
+pub use executor::{
+    ExecutionResult, Executor, FrameCtx, FrameEngine, FrameOutput, MacDomain, NoiseMode,
+};
 pub use partition::{partition_googlenet, Depth};
 pub use redeye_verify::{
     analyze_cost, analyze_ranges, verify, verify_with_limits, verify_with_options, CostBounds,

@@ -24,12 +24,17 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the AVX-512 VNNI microkernel in `gemm_i8`
+// carries the crate's single, narrowly-scoped `#[allow(unsafe_code)]` at its
+// cfg-guarded dispatch call, where the target features are statically
+// guaranteed by the build configuration.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod conv;
 mod error;
 mod gemm;
+mod gemm_i8;
 mod linalg;
 mod noise_stream;
 mod ops;
@@ -41,12 +46,13 @@ mod workspace;
 pub use conv::{col2im, im2col, im2col_into, ConvGeom, PoolGeom, RoundMode};
 pub use error::TensorError;
 pub use gemm::{gemm, gemm_into};
+pub use gemm_i8::gemm_i8_into;
 pub use linalg::{matmul, matmul_naive, matmul_transpose_a, matmul_transpose_b};
 pub use noise_stream::{NoiseSource, NoiseStream, SiteRng};
 pub use rng::Rng;
 pub use shape::Shape;
 pub use tensor::Tensor;
-pub use workspace::{PackBuffers, Workspace, WorkspaceStats};
+pub use workspace::{PackBuffers, PackBuffersI8, Workspace, WorkspaceStats};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, TensorError>;

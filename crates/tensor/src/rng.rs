@@ -42,7 +42,12 @@ impl Rng {
     /// Splits off an independent generator, advancing this one.
     ///
     /// Useful for handing reproducible sub-streams to parallel workers.
+    /// Splitting is a stream boundary: any cached Box–Muller spare from an
+    /// odd number of normal draws is discarded, so the parent's post-split
+    /// stream depends only on its underlying generator position — not on
+    /// whether the pre-split draws consumed their pair fully.
     pub fn split(&mut self) -> Rng {
+        self.spare_normal = None;
         Rng::seed_from(self.inner.gen::<u64>())
     }
 
@@ -56,7 +61,15 @@ impl Rng {
         if lo == hi {
             return lo;
         }
-        lo + (hi - lo) * self.inner.gen::<f32>()
+        let v = lo + (hi - lo) * self.inner.gen::<f32>();
+        // `lo + (hi-lo)·u` can round up to exactly `hi` when the range is
+        // wide relative to the f32 grid at `hi` (for [2²⁴−1, 2²⁴) roughly
+        // half of all draws would); clamp to keep the half-open contract.
+        if v >= hi {
+            hi.next_down()
+        } else {
+            v
+        }
     }
 
     /// Uniform integer in `[0, n)`.
@@ -314,6 +327,48 @@ mod tests {
             distinct.len() > 250,
             "only {} distinct values",
             distinct.len()
+        );
+    }
+
+    #[test]
+    fn uniform_respects_half_open_contract_at_adversarial_bounds() {
+        // At [2²⁴−1, 2²⁴) the f32 grid at `hi` is coarser than the range,
+        // so without the clamp roughly half of all draws round up to
+        // exactly `hi`; wide symmetric ranges hit the same rounding at the
+        // upper bound.
+        let mut rng = Rng::seed_from(1234);
+        let (lo, hi) = (16_777_215.0f32, 16_777_216.0f32);
+        for _ in 0..4096 {
+            let v = rng.uniform(lo, hi);
+            assert!((lo..hi).contains(&v), "{v} escaped [{lo}, {hi})");
+        }
+        for _ in 0..4096 {
+            let v = rng.uniform(-1.0e30, 1.0e30);
+            assert!((-1.0e30..1.0e30).contains(&v), "{v} escaped the range");
+        }
+    }
+
+    #[test]
+    fn split_discards_the_cached_boxmuller_spare() {
+        // Two parents at the same seed: `a` holds a cached spare after one
+        // scalar normal draw, `b` reaches the identical inner-generator
+        // position with the pair fully consumed. Splitting must erase the
+        // difference — both the children and the parents' subsequent
+        // normal streams have to agree.
+        let mut a = Rng::seed_from(64);
+        let _ = a.standard_normal();
+        let mut b = Rng::seed_from(64);
+        let mut pair = [0.0f32; 2];
+        b.fill_standard_normal(&mut pair);
+        assert_eq!(
+            a.split().standard_normal(),
+            b.split().standard_normal(),
+            "split children must agree"
+        );
+        assert_eq!(
+            a.standard_normal(),
+            b.standard_normal(),
+            "the spare must not leak across a split"
         );
     }
 
