@@ -72,6 +72,30 @@ impl ProcessCorner {
         let t_kelvin = self.temperature_c() + 273.15;
         t_kelvin / 300.15
     }
+
+    /// Deterministically samples the fabrication corner of device
+    /// `device_id` in a fleet seeded by `fleet_seed`.
+    ///
+    /// A **pure function** of `(fleet_seed, device_id)` — no RNG state, no
+    /// sampling order: device 7's corner is the same whether it is drawn
+    /// first, last, from another thread, or in a different fleet
+    /// composition. The distribution is centered on typical silicon
+    /// (TT 60%) with 10% in each off-corner, so a large fleet reproduces
+    /// the §IV-B spread.
+    pub fn for_device(fleet_seed: u64, device_id: u64) -> ProcessCorner {
+        // SplitMix64 finalizer: decorrelates consecutive device ids.
+        let mut z = fleet_seed ^ device_id.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        match z % 10 {
+            0..=5 => ProcessCorner::TT,
+            6 => ProcessCorner::FF,
+            7 => ProcessCorner::SS,
+            8 => ProcessCorner::FS,
+            _ => ProcessCorner::SF,
+        }
+    }
 }
 
 impl fmt::Display for ProcessCorner {
@@ -112,6 +136,37 @@ mod tests {
         assert_eq!(ProcessCorner::TT.to_string(), "TT 27°C");
         assert_eq!(ProcessCorner::FF.to_string(), "FF -20°C");
         assert_eq!(ProcessCorner::SS.to_string(), "SS 80°C");
+    }
+
+    #[test]
+    fn device_sampling_is_pure_and_tt_weighted() {
+        // Purity: repeated draws agree, and a draw is independent of any
+        // other device's draw.
+        for id in 0..50u64 {
+            assert_eq!(
+                ProcessCorner::for_device(42, id),
+                ProcessCorner::for_device(42, id)
+            );
+        }
+        // Different fleets re-roll the lottery.
+        assert!(
+            (0..200u64)
+                .any(|id| { ProcessCorner::for_device(1, id) != ProcessCorner::for_device(2, id) }),
+            "corner draw ignores the fleet seed"
+        );
+        // TT dominates a large fleet; every corner appears.
+        let mut counts = std::collections::HashMap::new();
+        for id in 0..2000u64 {
+            *counts
+                .entry(ProcessCorner::for_device(7, id))
+                .or_insert(0u32) += 1;
+        }
+        assert_eq!(counts.len(), 5, "some corner never sampled: {counts:?}");
+        let tt = counts[&ProcessCorner::TT];
+        assert!(
+            (1000..1400).contains(&tt),
+            "TT fraction drifted from 60%: {tt}/2000"
+        );
     }
 
     #[test]

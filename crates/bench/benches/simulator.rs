@@ -4,8 +4,8 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use redeye_analog::{Comparator, DampingConfig, Mac, MacConfig, SarAdc, SnrDb, TunableCap};
 use redeye_core::{
-    compile, estimate, BatchExecutor, CompileOptions, Depth, Executor, NoiseMode, RedEyeConfig,
-    WeightBank,
+    compile, estimate, BatchExecutor, CompileOptions, Depth, DeviceWork, Executor, FleetEngine,
+    FleetExecutor, FleetOptions, FrameEngine, NoiseMode, RedEyeConfig, WeightBank,
 };
 use redeye_nn::{build_network, summarize, zoo, WeightInit};
 use redeye_system::scenario;
@@ -114,6 +114,58 @@ fn bench_frame_throughput(c: &mut Criterion) {
                 });
             },
         );
+    }
+}
+
+/// Fleet-scale execution: per-device engine construction (naive ×16 vs
+/// one shared pack-once engine plus device views) and a small fleet
+/// through the work-stealing pool (the BENCH_fleet.json axes,
+/// criterion-sized).
+fn bench_fleet(c: &mut Criterion) {
+    let spec = zoo::micronet(4, 10);
+    let prefix = spec.prefix_through("pool1").unwrap();
+    let mut rng = Rng::seed_from(17);
+    let mut net = build_network(&prefix, WeightInit::HeNormal, &mut rng).unwrap();
+    let mut bank = WeightBank::from_network(&mut net);
+    let program = compile(&prefix, &mut bank, &CompileOptions::default()).unwrap();
+
+    c.bench_function("fleet/setup/naive_16", |b| {
+        b.iter(|| {
+            for d in 0..16u64 {
+                let engine = FrameEngine::new(program.clone(), d);
+                engine.verify().unwrap();
+                std::hint::black_box(&engine);
+            }
+        });
+    });
+    c.bench_function("fleet/setup/shared_16", |b| {
+        b.iter(|| {
+            let engine = FleetEngine::new(program.clone(), 7).unwrap();
+            for d in 0..16u64 {
+                std::hint::black_box(&engine.device(d));
+            }
+        });
+    });
+
+    let engine = FleetEngine::new(program.clone(), 7).unwrap();
+    let frame = std::sync::Arc::new(Tensor::uniform(&[3, 32, 32], 0.0, 1.0, &mut rng));
+    let work: Vec<DeviceWork> = (0..16)
+        .map(|device| DeviceWork {
+            device,
+            frames: vec![frame.clone()],
+        })
+        .collect();
+    for workers in [1usize, 2] {
+        let executor = FleetExecutor::with_options(
+            engine.clone(),
+            FleetOptions {
+                workers,
+                ..FleetOptions::default()
+            },
+        );
+        c.bench_function(&format!("fleet/run_16dev/{workers}w"), |b| {
+            b.iter(|| executor.run(&work).unwrap());
+        });
     }
 }
 
@@ -230,6 +282,7 @@ criterion_group!(
     bench_executor,
     bench_analog_pipeline,
     bench_frame_throughput,
+    bench_fleet,
     bench_circuits,
     bench_ablation,
     bench_gemm,

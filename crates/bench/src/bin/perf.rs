@@ -25,10 +25,16 @@
 //! - `--throughput`: run only the throughput section.
 //! - `--gemm-i8`: run only the integer-GEMM section.
 //! - `--smoke`: CI-sized run — Depth1 only, fewer reps, smaller kernels.
+//! - `--workers <n|auto>`: worker budget for the throughput sweep
+//!   (default `auto` = `available_parallelism`); the sweep covers
+//!   `worker_counts(budget)`.
+//!
+//! Each swept depth's `DepthScenario` (compiled program + input) is built
+//! exactly once and shared by the analog and throughput sections.
 
 use redeye_bench::schema::{Row, ThroughputRow};
 use redeye_bench::workload::{self, DepthScenario};
-use redeye_core::{BatchExecutor, Depth, Executor, NoiseMode};
+use redeye_core::{auto_workers, BatchExecutor, Depth, Executor, NoiseMode};
 use redeye_nn::{build_network, zoo, Network, NetworkSpec, WeightInit};
 use redeye_sim::{extract_params, instrument, AccuracyHarness, InstrumentOptions};
 use redeye_tensor::{
@@ -273,7 +279,7 @@ fn bench_noise_kernels(rows: &mut Vec<Row>, smoke: bool) {
 
 /// Times whole executor frames per depth: the scalar noise baseline against
 /// the batched path, then batched across analog thread budgets.
-fn bench_analog_frames(rows: &mut Vec<Row>, smoke: bool) {
+fn bench_analog_frames(rows: &mut Vec<Row>, scenarios: &[DepthScenario], smoke: bool) {
     let reps = if smoke { 1 } else { 4 };
     let variants = [
         (NoiseMode::Scalar, 1usize),
@@ -281,8 +287,8 @@ fn bench_analog_frames(rows: &mut Vec<Row>, smoke: bool) {
         (NoiseMode::Batched, 2),
         (NoiseMode::Batched, 4),
     ];
-    for &depth in workload::perf_depths(smoke) {
-        let DepthScenario { program, input, .. } = DepthScenario::build(depth);
+    for scenario in scenarios {
+        let (program, input) = (&scenario.program, &scenario.input);
         let mut execs: Vec<Executor> = variants
             .iter()
             .map(|&(mode, threads)| {
@@ -290,7 +296,7 @@ fn bench_analog_frames(rows: &mut Vec<Row>, smoke: bool) {
                 exec.set_noise_mode(mode);
                 exec.set_analog_threads(threads);
                 // Warm run: verifies the program and grows the conv workspace.
-                exec.execute(&input).expect("frame");
+                exec.execute(input).expect("frame");
                 exec
             })
             .collect();
@@ -300,12 +306,12 @@ fn bench_analog_frames(rows: &mut Vec<Row>, smoke: bool) {
         for _ in 0..reps {
             for (slot, exec) in best.iter_mut().zip(&mut execs) {
                 let start = Instant::now();
-                exec.execute(&input).expect("frame");
+                exec.execute(input).expect("frame");
                 *slot = slot.min(start.elapsed().as_secs_f64() * 1e3);
             }
         }
         let [scalar_1t, batched_1t, batched_2t, batched_4t] = best;
-        let tag = depth.to_string().to_lowercase();
+        let tag = scenario.tag();
         println!(
             "{tag} frame: scalar(1t) {scalar_1t:.1} ms | batched(1t) {batched_1t:.1} ms ({:.2}x) | batched(2t) {batched_2t:.1} ms | batched(4t) {batched_4t:.1} ms",
             scalar_1t / batched_1t,
@@ -332,15 +338,19 @@ fn bench_analog_frames(rows: &mut Vec<Row>, smoke: bool) {
 /// executor per variant) so the noise workload is identical; the batch path
 /// is bit-identical to serial by construction, making this a pure dispatch
 /// overhead / scaling measurement.
-fn bench_throughput(rows: &mut Vec<ThroughputRow>, smoke: bool) {
+fn bench_throughput(
+    rows: &mut Vec<ThroughputRow>,
+    scenarios: &[DepthScenario],
+    max_workers: usize,
+    smoke: bool,
+) {
     let reps = if smoke { 1 } else { 2 };
-    for &depth in workload::perf_depths(smoke) {
-        let scenario = DepthScenario::build(depth);
+    for scenario in scenarios {
         let tag = scenario.tag();
         let n = if smoke {
             3
         } else {
-            match depth {
+            match scenario.depth {
                 Depth::D1 => 8,
                 Depth::D3 => 6,
                 _ => 4,
@@ -374,7 +384,7 @@ fn bench_throughput(rows: &mut Vec<ThroughputRow>, smoke: bool) {
         };
         push(rows, "serial", serial_ms, 1);
 
-        for workers in [1usize, 2, 4] {
+        for workers in workload::worker_counts(max_workers) {
             let mut batch =
                 BatchExecutor::new(scenario.program.clone(), 29, workers).expect("pool builds");
             // Warm every worker's workspace before timing.
@@ -388,12 +398,33 @@ fn bench_throughput(rows: &mut Vec<ThroughputRow>, smoke: bool) {
     }
 }
 
+/// Parses `--workers <n|auto>`; the default worker budget is the machine's
+/// available parallelism.
+fn parse_workers(args: &[String]) -> usize {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--workers" {
+            let v = it
+                .next()
+                .expect("--workers needs a value: a count or `auto`");
+            if v == "auto" {
+                return auto_workers();
+            }
+            return v
+                .parse()
+                .expect("--workers value must be a positive count or `auto`");
+        }
+    }
+    auto_workers()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let analog_only = args.iter().any(|a| a == "--analog-only");
     let throughput_only = args.iter().any(|a| a == "--throughput");
     let gemm_i8_only = args.iter().any(|a| a == "--gemm-i8");
+    let max_workers = parse_workers(&args);
 
     if gemm_i8_only {
         let mut rows: Vec<Row> = Vec::new();
@@ -416,10 +447,17 @@ fn main() {
         println!("wrote BENCH_gemm.json ({} rows)", rows.len());
     }
 
+    // One scenario per swept depth, shared by the analog and throughput
+    // sections — compiling a GoogLeNet prefix is not free.
+    let scenarios: Vec<DepthScenario> = workload::perf_depths(smoke)
+        .iter()
+        .map(|&depth| DepthScenario::build(depth))
+        .collect();
+
     if !throughput_only {
         let mut analog_rows: Vec<Row> = Vec::new();
         bench_noise_kernels(&mut analog_rows, smoke);
-        bench_analog_frames(&mut analog_rows, smoke);
+        bench_analog_frames(&mut analog_rows, &scenarios, smoke);
 
         let json = serde_json::to_string_pretty(&analog_rows).expect("serialize rows");
         std::fs::write("BENCH_analog.json", json).expect("write BENCH_analog.json");
@@ -428,7 +466,7 @@ fn main() {
 
     if !analog_only {
         let mut throughput_rows: Vec<ThroughputRow> = Vec::new();
-        bench_throughput(&mut throughput_rows, smoke);
+        bench_throughput(&mut throughput_rows, &scenarios, max_workers, smoke);
 
         let json = serde_json::to_string_pretty(&throughput_rows).expect("serialize rows");
         std::fs::write("BENCH_throughput.json", json).expect("write BENCH_throughput.json");

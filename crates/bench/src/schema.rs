@@ -8,15 +8,19 @@
 //! drifts from the schema fails the build instead of silently breaking
 //! consumers.
 //!
-//! Two row shapes exist:
+//! Three row shapes exist:
 //!
 //! - [`Row`] — wall-clock sections (`BENCH_gemm.json`, `BENCH_analog.json`,
 //!   `BENCH_gemm_i8.json`): `{name, wall_ms, threads}`;
 //! - [`ThroughputRow`] — frame-stream sections (`BENCH_throughput.json`):
-//!   `{name, frames, wall_ms, fps, workers}`.
+//!   `{name, frames, wall_ms, fps, workers}`;
+//! - [`FleetRow`] — population sections (`BENCH_fleet.json`): fleet size,
+//!   worker count, wall time, population energy, cloudlet tail latency, and
+//!   the fleet output digest.
 //!
-//! Required-field sets are disjoint (`threads` vs `frames`/`fps`/
-//! `workers`), so every well-formed report matches exactly one shape.
+//! Required-field sets are pairwise disjoint (`threads` vs `fps` vs
+//! `energy_mj`/`digest`), so every well-formed report matches exactly one
+//! shape.
 
 use serde::{Deserialize, Serialize};
 
@@ -47,6 +51,36 @@ pub struct ThroughputRow {
     pub workers: usize,
 }
 
+/// One fleet-scale observation: a whole population of devices through the
+/// shared engine, plus the cloudlet's view of the offered load. Setup
+/// comparison rows (engine construction cost) reuse the shape with
+/// `frames: 0` and zeroed population fields.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetRow {
+    /// Benchmark identifier, e.g. `fleet_depth1_64`.
+    pub name: String,
+    /// Devices in the simulated fleet.
+    pub fleet: usize,
+    /// Work-stealing worker threads the run used.
+    pub workers: usize,
+    /// Total frames executed across the fleet.
+    pub frames: usize,
+    /// Fleet wall time in milliseconds.
+    pub wall_ms: f64,
+    /// Population analog energy in millijoules.
+    pub energy_mj: f64,
+    /// Cloudlet median end-to-end latency (capture → suffix done), ms.
+    pub p50_ms: f64,
+    /// Cloudlet 95th-percentile latency, ms.
+    pub p95_ms: f64,
+    /// Cloudlet 99th-percentile latency, ms.
+    pub p99_ms: f64,
+    /// Cloudlet utilization over the window (≈1 means saturated).
+    pub saturation: f64,
+    /// Fleet output digest (hex), identical across worker counts.
+    pub digest: String,
+}
+
 /// Which schema a report parsed as, plus its row count.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReportShape {
@@ -54,6 +88,8 @@ pub enum ReportShape {
     WallClock(usize),
     /// A `Vec<ThroughputRow>` report with this many rows.
     Throughput(usize),
+    /// A `Vec<FleetRow>` report with this many rows.
+    Fleet(usize),
 }
 
 /// Validates one `BENCH_*.json` report body against the schema.
@@ -64,12 +100,29 @@ pub enum ReportShape {
 pub fn validate_report(json: &str) -> Result<ReportShape, String> {
     let as_rows = serde_json::from_str::<Vec<Row>>(json).map(|r| r.len());
     let as_throughput = serde_json::from_str::<Vec<ThroughputRow>>(json).map(|r| r.len());
-    match (as_rows, as_throughput) {
-        (Ok(0), _) | (_, Ok(0)) => Err("report is an empty array".into()),
-        (Ok(n), Err(_)) => Ok(ReportShape::WallClock(n)),
-        (Err(_), Ok(n)) => Ok(ReportShape::Throughput(n)),
-        (Ok(_), Ok(_)) => Err("report matches both row shapes (schema drift?)".into()),
-        (Err(e), Err(_)) => Err(format!("report matches neither row shape: {e}")),
+    let as_fleet = serde_json::from_str::<Vec<FleetRow>>(json).map(|r| r.len());
+    if matches!(as_rows, Ok(0)) || matches!(as_throughput, Ok(0)) || matches!(as_fleet, Ok(0)) {
+        return Err("report is an empty array".into());
+    }
+    let matches: Vec<ReportShape> = [
+        as_rows.ok().map(ReportShape::WallClock),
+        as_throughput.ok().map(ReportShape::Throughput),
+        as_fleet.ok().map(ReportShape::Fleet),
+    ]
+    .into_iter()
+    .flatten()
+    .collect();
+    match matches.as_slice() {
+        [shape] => Ok(*shape),
+        [] => {
+            // Re-parse one shape for a representative error message.
+            let err = serde_json::from_str::<Vec<Row>>(json).unwrap_err();
+            Err(format!("report matches no row shape: {err}"))
+        }
+        many => Err(format!(
+            "report matches {} row shapes (schema drift?)",
+            many.len()
+        )),
     }
 }
 
@@ -103,6 +156,55 @@ mod tests {
         }];
         let json = serde_json::to_string_pretty(&rows).unwrap();
         assert_eq!(validate_report(&json), Ok(ReportShape::WallClock(1)));
+    }
+
+    #[test]
+    fn fleet_reports_validate() {
+        let rows = vec![
+            FleetRow {
+                name: "fleet_setup_shared_64".into(),
+                fleet: 64,
+                workers: 1,
+                frames: 0,
+                wall_ms: 3.0,
+                energy_mj: 0.0,
+                p50_ms: 0.0,
+                p95_ms: 0.0,
+                p99_ms: 0.0,
+                saturation: 0.0,
+                digest: String::new(),
+            },
+            FleetRow {
+                name: "fleet_depth1_64".into(),
+                fleet: 64,
+                workers: 4,
+                frames: 64,
+                wall_ms: 5_400.0,
+                energy_mj: 14.2,
+                p50_ms: 151.0,
+                p95_ms: 390.0,
+                p99_ms: 460.0,
+                saturation: 0.97,
+                digest: "a3f09c1e5b77d210".into(),
+            },
+        ];
+        let json = serde_json::to_string_pretty(&rows).unwrap();
+        assert_eq!(validate_report(&json), Ok(ReportShape::Fleet(2)));
+    }
+
+    #[test]
+    fn fleet_shape_is_disjoint_from_the_others() {
+        // A fleet row must not parse as a wall-clock or throughput row and
+        // vice versa — the three required-field sets stay disjoint.
+        let fleet = r#"[{"name": "f", "fleet": 8, "workers": 2, "frames": 8,
+            "wall_ms": 1.0, "energy_mj": 0.1, "p50_ms": 1.0, "p95_ms": 2.0,
+            "p99_ms": 3.0, "saturation": 0.5, "digest": "00ff"}]"#;
+        assert_eq!(validate_report(fleet), Ok(ReportShape::Fleet(1)));
+        let throughput = r#"[{"name": "t", "frames": 4, "wall_ms": 1.0,
+            "fps": 4000.0, "workers": 2}]"#;
+        assert_eq!(validate_report(throughput), Ok(ReportShape::Throughput(1)));
+        assert!(serde_json::from_str::<Vec<FleetRow>>(throughput).is_err());
+        assert!(serde_json::from_str::<Vec<ThroughputRow>>(fleet).is_err());
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use redeye_core::{compile, CompileOptions, Depth, Program, WeightBank};
 use redeye_dataset::{sensor, SyntheticDataset};
 use redeye_nn::train::{evaluate, train_epoch, Example, Sgd};
-use redeye_nn::{build_network, zoo, NetworkSpec, WeightInit};
+use redeye_nn::{build_network, summarize, zoo, NetworkSpec, WeightInit};
 use redeye_sim::extract_params;
 use redeye_tensor::{Rng, Tensor};
 
@@ -164,6 +164,81 @@ pub fn perf_depths(smoke: bool) -> &'static [Depth] {
     }
 }
 
+/// One fleet benchmark scenario: a compiled prefix program for the whole
+/// population plus the host-side suffix workload the cloudlet finishes per
+/// frame.
+pub struct FleetScenario {
+    /// Row tag ("depth1" full, "micronet" smoke).
+    pub tag: &'static str,
+    /// The compiled prefix program every fleet device runs.
+    pub program: Program,
+    /// Input frame geometry `[c, h, w]`.
+    pub input_dims: [usize; 3],
+    /// MACs the cloudlet computes per frame (the network suffix).
+    pub suffix_macs: u64,
+    /// Parameters the cloudlet touches per frame (the network suffix).
+    pub suffix_params: u64,
+}
+
+/// Builds the fleet scenario: the full GoogLeNet Depth1 cut (via
+/// [`DepthScenario::build`], so the program exists once), or — under
+/// `smoke` — a micronet cut small enough that CI can push a four-digit
+/// fleet through it.
+///
+/// # Panics
+///
+/// Panics if the zoo specs fail to summarize, build, or compile — a
+/// programming error, not a data condition.
+pub fn fleet_scenario(smoke: bool) -> FleetScenario {
+    let (spec, cut, tag, program) = if smoke {
+        let spec = zoo::micronet(4, CLASSES);
+        let prefix = spec.prefix_through("pool1").expect("cut exists");
+        let mut rng = Rng::seed_from(17);
+        let mut net =
+            build_network(&prefix, WeightInit::HeNormal, &mut rng).expect("micronet builds");
+        let mut bank = WeightBank::from_network(&mut net);
+        let program = compile(&prefix, &mut bank, &CompileOptions::default()).expect("compiles");
+        (spec, "pool1", "micronet", program)
+    } else {
+        let scenario = DepthScenario::build(Depth::D1);
+        (
+            zoo::googlenet(),
+            Depth::D1.cut_layer(),
+            "depth1",
+            scenario.program,
+        )
+    };
+    let summary = summarize(&spec).expect("spec summarizes");
+    let pos = summary
+        .layers
+        .iter()
+        .position(|l| l.name == cut)
+        .expect("cut layer exists in summary");
+    let suffix = &summary.layers[pos + 1..];
+    FleetScenario {
+        tag,
+        program,
+        input_dims: summary.input,
+        suffix_macs: suffix.iter().map(|l| l.macs).sum(),
+        suffix_params: suffix.iter().map(|l| l.params).sum(),
+    }
+}
+
+/// The worker counts a scaling sweep covers up to a budget of `max`
+/// workers: powers of two below `max`, then `max` itself — so `4` gives
+/// `[1, 2, 4]` and a 6-core budget gives `[1, 2, 4, 6]`. Always non-empty.
+pub fn worker_counts(max: usize) -> Vec<usize> {
+    let max = max.max(1);
+    let mut counts = Vec::new();
+    let mut w = 1;
+    while w < max {
+        counts.push(w);
+        w *= 2;
+    }
+    counts.push(max);
+    counts
+}
+
 /// The validation shard for noise sweeps (fresh indices, same capture
 /// pipeline).
 pub fn validation_set(n: usize, seed: u64) -> Vec<(Tensor, usize)> {
@@ -184,6 +259,24 @@ mod tests {
             "32-class chance is ~0.03; got {}",
             model.clean_top1
         );
+    }
+
+    #[test]
+    fn fleet_scenario_smoke_has_a_real_suffix() {
+        let s = fleet_scenario(true);
+        assert_eq!(s.tag, "micronet");
+        assert_eq!(s.input_dims, [3, 32, 32]);
+        assert!(s.suffix_macs > 0, "the cloudlet must have work to do");
+        assert!(s.suffix_params > 0);
+        assert!(!s.program.instructions.is_empty());
+    }
+
+    #[test]
+    fn worker_counts_cover_the_budget() {
+        assert_eq!(worker_counts(1), vec![1]);
+        assert_eq!(worker_counts(4), vec![1, 2, 4]);
+        assert_eq!(worker_counts(6), vec![1, 2, 4, 6]);
+        assert_eq!(worker_counts(0), vec![1], "a zero budget still runs");
     }
 
     #[test]

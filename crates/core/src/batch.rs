@@ -126,6 +126,19 @@ pub struct BatchExecutor {
     forced_total: u64,
 }
 
+/// The worker count the host actually offers:
+/// [`std::thread::available_parallelism`], or 1 when the host cannot say.
+///
+/// This is the default pool size everywhere a worker count is optional
+/// (the batch executor's [`BatchExecutor::new_auto`], the fleet executor,
+/// the perf bins' `--workers auto`), so hosts stop hard-coding sweeps
+/// like 1/2/4 that only measure queue overhead on smaller machines.
+pub fn auto_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
 impl BatchExecutor {
     /// Creates a batch executor for `program` with a pool of `workers`
     /// persistent threads (clamped to at least 1), seeding all stochastic
@@ -138,6 +151,17 @@ impl BatchExecutor {
     /// bad program never reaches the pool.
     pub fn new(program: Program, seed: u64, workers: usize) -> Result<Self> {
         Self::with_engine(FrameEngine::new(program, seed), workers)
+    }
+
+    /// Creates a batch executor sized to the host: a pool of
+    /// [`auto_workers`] persistent threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Verify`] if the program fails static
+    /// verification.
+    pub fn new_auto(program: Program, seed: u64) -> Result<Self> {
+        Self::new(program, seed, auto_workers())
     }
 
     /// Creates a batch executor around a pre-configured engine (noise mode

@@ -164,12 +164,29 @@ const ANALOG_PARALLEL_MIN: usize = 4096;
 /// and every noise sample is a pure function of
 /// `(seed, frame, instruction, site, draw)` — so which worker runs which
 /// frame, and in what order, cannot change the output.
+///
+/// # Pack-once weight state
+///
+/// Everything about a conv instruction's weights that does not depend on
+/// the frame — the reconstructed f32 weight matrix, the staged i8 DAC
+/// codes with their row-wise L1 bound for the [`MacDomain::CodeI8`] fast
+/// path, and the SAR ADC's bit-weight table — is computed **once** at
+/// engine construction and shared read-only by every frame, context, and
+/// worker thereafter. A fleet of simulated devices sharing one engine (see
+/// [`crate::FleetEngine`]) therefore packs weights exactly once, no matter
+/// how many devices run.
 #[derive(Debug)]
 pub struct FrameEngine {
     program: Program,
     /// Root counter-based stream; frame `f` executes under
     /// `stream.frame_substream(f)`.
     stream: NoiseStream,
+    /// Pack-once per-conv weight state, in DFS instruction order.
+    conv_packs: Vec<ConvPack>,
+    /// Pack-once SAR ADC template (bit-weight table); `None` only when the
+    /// program's resolution is invalid, in which case quantization fails
+    /// with the constructor's error.
+    sar: Option<SarAdc>,
     /// Number of column slices available for this program's sensor array.
     columns: f64,
     /// GEMM thread budget for conv instructions.
@@ -194,9 +211,14 @@ impl FrameEngine {
     /// from `seed`.
     pub fn new(program: Program, seed: u64) -> Self {
         let columns = program.input[2].max(1) as f64;
+        let mut conv_packs = Vec::new();
+        collect_conv_packs(&program.instructions, &mut conv_packs);
+        let sar = SarAdc::new(program.adc_bits).ok();
         FrameEngine {
             program,
             stream: NoiseStream::new(seed),
+            conv_packs,
+            sar,
             columns,
             gemm_threads: 1,
             analog_threads: 1,
@@ -299,6 +321,28 @@ impl FrameEngine {
     /// [`CoreError::BadProgram`] if the input shape does not match the
     /// program or a shape error surfaces from a corrupt program.
     pub fn run_frame(&self, frame: u64, input: &Tensor, ctx: &mut FrameCtx) -> Result<FrameOutput> {
+        self.run_frame_with(&self.stream, 1.0, frame, input, ctx)
+    }
+
+    /// Device-parameterized frame entry point: executes under an explicit
+    /// root noise stream (a per-device stream in fleet simulation) with
+    /// every layer-noise σ multiplied by `noise_scale` (a process corner's
+    /// thermal-noise power ratio, as an amplitude factor).
+    ///
+    /// `run_frame` is exactly `run_frame_with(&self.stream, 1.0, …)`: a
+    /// scale of `1.0` is an IEEE-exact multiplicative identity, so the
+    /// nominal path stays bit-identical. The comparator and SAR models keep
+    /// their nominal internal noise — the corner scaling applies to the
+    /// aggregate layer-SNR Gaussian stage, where §III-D folds the damped
+    /// node noise.
+    pub(crate) fn run_frame_with(
+        &self,
+        root: &NoiseStream,
+        noise_scale: f32,
+        frame: u64,
+        input: &Tensor,
+        ctx: &mut FrameCtx,
+    ) -> Result<FrameOutput> {
         self.verify()?;
         if input.dims() != self.program.input {
             return Err(CoreError::BadProgram {
@@ -312,12 +356,16 @@ impl FrameEngine {
         let mut pass = FramePass {
             ws: &mut ctx.ws,
             code: &mut ctx.code,
-            stream: self.stream.frame_substream(frame),
+            stream: root.frame_substream(frame),
             ordinal: 0,
+            conv_ordinal: 0,
+            conv_packs: &self.conv_packs,
+            sar: self.sar.as_ref(),
             columns: self.columns,
             gemm_threads: self.gemm_threads,
             analog_threads: self.analog_threads,
             noise_mode: self.noise_mode,
+            noise_scale,
             mac_domain: self.mac_domain,
             ledger: EnergyLedger::new(),
             elapsed: Seconds::zero(),
@@ -374,15 +422,110 @@ pub struct FrameCtx {
     forced_total: u64,
 }
 
-/// Reusable staging for the code-domain MAC fast path: the conv weights'
-/// i8 codes, the activations' snapped i8 codes, and the i32 accumulator.
-/// Like the [`Workspace`], buffers grow to the high-water mark and are then
-/// reused frame after frame.
+/// Reusable staging for the code-domain MAC fast path: the activations'
+/// snapped i8 codes and the i32 accumulator (the weights' i8 codes are
+/// packed once into the engine's [`ConvPack`]s). Like the [`Workspace`],
+/// buffers grow to the high-water mark and are then reused frame after
+/// frame.
 #[derive(Debug, Default)]
 struct CodeScratch {
-    weights: Vec<i8>,
     cols: Vec<i8>,
     acc: Vec<i32>,
+}
+
+/// Pack-once per-conv weight state, computed at [`FrameEngine`]
+/// construction and shared read-only by every frame and worker: the
+/// reconstructed f32 weight matrix, plus the staged i8 operand for the
+/// [`MacDomain::CodeI8`] fast path when the instruction's weight-side
+/// preconditions hold.
+#[derive(Debug, Clone)]
+struct ConvPack {
+    /// Reconstructed DAC-applied weights `code · scale`, row-major
+    /// `[out_c, patch]` — exactly the values the per-frame rebuild used to
+    /// produce, so the f32 path is bit-identical.
+    weights: Vec<f32>,
+    /// The code-domain operand, present only when the weight scale is a
+    /// normal power of two and every code fits the signed 8-bit DAC range
+    /// (the [`code_domain_mac`] checks that depend on weights alone).
+    code: Option<CodePack>,
+}
+
+/// The staged integer operand of one conv's code-domain MAC.
+#[derive(Debug, Clone)]
+struct CodePack {
+    /// Weight codes staged as i8, row-major `[out_c, patch]`.
+    codes: Vec<i8>,
+    /// `max_row(Σ|c_w|)` for the partial-sum mantissa bound.
+    row_l1_max: i64,
+    /// Weight-scale exponent: `scale = 2^ew` exactly.
+    ew: i32,
+}
+
+impl ConvPack {
+    /// Packs one conv instruction's weights (both domains).
+    fn build(codes: &[i32], scale: f32, out_c: usize) -> ConvPack {
+        ConvPack {
+            weights: codes.iter().map(|&c| c as f32 * scale).collect(),
+            code: CodePack::build(codes, scale, out_c),
+        }
+    }
+}
+
+impl CodePack {
+    /// Stages the i8 operand when the weight-side [`code_domain_mac`]
+    /// preconditions hold: a normal power-of-two scale (check 1) and every
+    /// code within the signed 8-bit DAC range (check 2).
+    fn build(codes: &[i32], scale: f32, out_c: usize) -> Option<CodePack> {
+        if !scale.is_normal() || scale <= 0.0 || scale.to_bits() & 0x007f_ffff != 0 {
+            return None;
+        }
+        let ew = ((scale.to_bits() >> 23) & 0xff) as i32 - 127;
+        if out_c == 0 || !codes.len().is_multiple_of(out_c) {
+            return None;
+        }
+        let k = codes.len() / out_c;
+        let mut staged = Vec::with_capacity(codes.len());
+        let mut row_l1_max = 0i64;
+        for row in codes.chunks(k.max(1)) {
+            let mut l1 = 0i64;
+            for &c in row {
+                if !(-127..=127).contains(&c) {
+                    return None;
+                }
+                l1 += i64::from(c.unsigned_abs());
+                staged.push(c as i8);
+            }
+            row_l1_max = row_l1_max.max(l1);
+        }
+        Some(CodePack {
+            codes: staged,
+            row_l1_max,
+            ew,
+        })
+    }
+}
+
+/// Collects pack-once weight state for every conv instruction, recursing
+/// through inception branches in the same DFS pre-order
+/// [`FramePass::run_instruction`] visits them, so `conv_packs[i]` is the
+/// `i`-th conv a frame executes.
+fn collect_conv_packs(instructions: &[Instruction], packs: &mut Vec<ConvPack>) {
+    for inst in instructions {
+        match inst {
+            Instruction::Conv {
+                out_c,
+                codes,
+                scale,
+                ..
+            } => packs.push(ConvPack::build(codes, *scale, *out_c)),
+            Instruction::Inception { branches, .. } => {
+                for branch in branches {
+                    collect_conv_packs(branch, packs);
+                }
+            }
+            _ => {}
+        }
+    }
 }
 
 impl FrameCtx {
@@ -580,10 +723,19 @@ struct FramePass<'a> {
     stream: NoiseStream,
     /// Next instruction ordinal (DFS order through inception branches).
     ordinal: u64,
+    /// Next conv ordinal: index of the engine's pack-once weight state for
+    /// the next conv instruction in DFS order.
+    conv_ordinal: usize,
+    /// The engine's pack-once per-conv weight state.
+    conv_packs: &'a [ConvPack],
+    /// The engine's pack-once SAR ADC template.
+    sar: Option<&'a SarAdc>,
     columns: f64,
     gemm_threads: usize,
     analog_threads: usize,
     noise_mode: NoiseMode,
+    /// Device amplitude factor on every layer-noise σ (1.0 nominal).
+    noise_scale: f32,
     mac_domain: MacDomain,
     ledger: EnergyLedger,
     elapsed: Seconds,
@@ -610,9 +762,10 @@ impl FramePass<'_> {
                 pad,
                 relu,
                 codes,
-                scale,
                 bias,
                 snr,
+                // `scale` is folded into the engine's pack-once weights.
+                ..
             } => {
                 let dims = x.dims();
                 if dims.len() != 3 {
@@ -628,6 +781,19 @@ impl FramePass<'_> {
                         reason: format!("conv `{name}` weight dims inconsistent"),
                     });
                 }
+                // Pack-once weight state, keyed by conv ordinal in the same
+                // DFS order `collect_conv_packs` walked. The engine built
+                // the packs from this very program, so the lookup cannot
+                // miss; `get` keeps a corrupt index a reported error rather
+                // than a panic.
+                let conv_packs = self.conv_packs;
+                let pack =
+                    conv_packs
+                        .get(self.conv_ordinal)
+                        .ok_or_else(|| CoreError::BadProgram {
+                            reason: format!("conv `{name}` has no packed weights"),
+                        })?;
+                self.conv_ordinal += 1;
                 let positions = geom.out_positions();
                 let (cols, packs, packs_i8) = self.ws.split_im2col_all_packs();
                 im2col_into(x, &geom, cols)?;
@@ -635,33 +801,31 @@ impl FramePass<'_> {
                 // The ideal MAC array is a matrix product (each output is
                 // one damped node). Under CodeI8 it runs in the integer
                 // code domain when the dynamic exactness checks pass; the
-                // fallback — and the F32 reference — reconstruct the
-                // DAC-applied weights and multiply in the voltage domain.
+                // fallback — and the F32 reference — multiply the packed
+                // DAC-applied weights in the voltage domain.
+                let scratch = &mut *self.code;
                 let code_hit = self.mac_domain == MacDomain::CodeI8
-                    && code_domain_mac(
-                        self.code,
-                        packs_i8,
-                        codes,
-                        *scale,
-                        cols,
-                        &mut out,
-                        *out_c,
-                        positions,
-                        patch,
-                        self.gemm_threads,
-                    );
+                    && pack.code.as_ref().is_some_and(|pre| {
+                        code_domain_mac(
+                            scratch,
+                            packs_i8,
+                            pre,
+                            cols,
+                            &mut out,
+                            *out_c,
+                            positions,
+                            patch,
+                            self.gemm_threads,
+                        )
+                    });
                 if code_hit {
                     self.code_mac_hits += 1;
                 } else {
-                    let weights = Tensor::from_vec(
-                        codes.iter().map(|&c| c as f32 * scale).collect(),
-                        &[*out_c, patch],
-                    )?;
                     gemm_into(
                         packs,
                         false,
                         false,
-                        weights.as_slice(),
+                        &pack.weights,
                         cols,
                         &mut out,
                         *out_c,
@@ -761,7 +925,10 @@ impl FramePass<'_> {
         if rms <= 0.0 {
             return out;
         }
-        let sigma = rms / snr.amplitude_ratio() as f32;
+        // `noise_scale` is 1.0 on the nominal path — an IEEE-exact
+        // multiplicative identity — and a process corner's thermal
+        // amplitude factor on fleet devices.
+        let sigma = self.noise_scale * (rms / snr.amplitude_ratio() as f32);
         let stream = self.next_stream();
         match self.noise_mode {
             NoiseMode::Batched => {
@@ -876,7 +1043,17 @@ impl FramePass<'_> {
     /// band order, so the tally is thread-count independent).
     fn quantize(&mut self, bits: u32, x: &Tensor) -> Result<(Tensor, Vec<u32>, u64)> {
         let stream = self.next_stream();
-        let template = SarAdc::new(bits)?;
+        // The engine packs the bit-weight table once; the fallback only
+        // runs (and reports the constructor's error) for a resolution the
+        // engine could not build a template for.
+        let built;
+        let template = match self.sar {
+            Some(t) => t,
+            None => {
+                built = SarAdc::new(bits)?;
+                &built
+            }
+        };
         // Gain staging: features (post-rectification, ≥ 0) map onto the ADC
         // full scale; negative residues clip at the lower rail.
         let vmax = x.iter().fold(0.0f32, |m, &v| m.max(v));
@@ -978,6 +1155,11 @@ fn code_step_exponent(vmax: f32) -> i32 {
 ///    accumulation order — is an integer multiple of `2^(ew+ea)` with a
 ///    magnitude inside the f32 mantissa.
 ///
+/// Checks 1–2 depend on the instruction's weights alone, so
+/// [`CodePack::build`] decides them once at engine construction — a conv
+/// reaches this function only with its weight-side operand (`pre`) already
+/// staged. Checks 3–5 depend on the frame's activations and run here.
+///
 /// Under those conditions the f32 engine's blocked float accumulation
 /// commits no rounding at all, `i32` accumulation trivially commits none,
 /// and converting the integer result back through `(s as f32)·2^(ew+ea)`
@@ -988,8 +1170,7 @@ fn code_step_exponent(vmax: f32) -> i32 {
 fn code_domain_mac(
     scratch: &mut CodeScratch,
     packs: &mut PackBuffersI8,
-    codes: &[i32],
-    scale: f32,
+    pre: &CodePack,
     cols: &[f32],
     out: &mut [f32],
     m: usize,
@@ -997,27 +1178,7 @@ fn code_domain_mac(
     k: usize,
     threads: usize,
 ) -> bool {
-    // (1) Normal power-of-two weight scale.
-    if !scale.is_normal() || scale <= 0.0 || scale.to_bits() & 0x007f_ffff != 0 {
-        return false;
-    }
-    let ew = ((scale.to_bits() >> 23) & 0xff) as i32 - 127;
-    // (2) Codes within the DAC range, gathering the row-wise L1 maximum
-    // for the partial-sum bound while staging the i8 operand.
-    scratch.weights.clear();
-    scratch.weights.reserve(codes.len());
-    let mut row_l1_max = 0i64;
-    for row in codes.chunks(k.max(1)) {
-        let mut l1 = 0i64;
-        for &c in row {
-            if !(-127..=127).contains(&c) {
-                return false;
-            }
-            l1 += i64::from(c.unsigned_abs());
-            scratch.weights.push(c as i8);
-        }
-        row_l1_max = row_l1_max.max(l1);
-    }
+    let (ew, row_l1_max) = (pre.ew, pre.row_l1_max);
     // (3) Tightest power-of-two activation step; verify every activation
     // reconstructs exactly from its snapped 8-bit code.
     let vmax = cols.iter().fold(0.0f32, |acc, &v| acc.max(v.abs()));
@@ -1060,7 +1221,7 @@ fn code_domain_mac(
         packs,
         false,
         false,
-        &scratch.weights,
+        &pre.codes,
         &scratch.cols,
         &mut scratch.acc,
         m,

@@ -21,6 +21,10 @@
 //!   frames through a persistent worker pool sharing one immutable
 //!   [`FrameEngine`], bit-identical to the serial [`Executor`] at any
 //!   worker count (continuous-vision frames/sec is the headline metric).
+//! - [`FleetEngine`] / [`FleetExecutor`] — **fleet-scale simulation**:
+//!   thousands of devices as lightweight [`DeviceCtx`] views over one
+//!   shared pack-once engine, scheduled by a work-stealing deque pool
+//!   ([`stealing`]) and bit-identical at any worker count.
 //! - [`estimate`] — the **analytic estimator**: exact per-depth energy,
 //!   timing, and readout workloads for full-size networks (GoogLeNet at
 //!   227×227) from shape propagation alone; this is what regenerates the
@@ -55,19 +59,25 @@ mod energy;
 mod error;
 pub mod estimate;
 mod executor;
+mod fleet;
 mod partition;
 pub mod rowsim;
 mod sram;
 pub mod stacking;
+pub mod stealing;
 pub mod topology;
 
-pub use batch::{BatchExecutor, BatchResult};
+pub use batch::{auto_workers, BatchExecutor, BatchResult};
 pub use compile::{compile, CompileOptions, VerifyPolicy, WeightBank};
 pub use energy::EnergyLedger;
 pub use error::CoreError;
 pub use estimate::{EnergyBreakdown, Estimate, NoisePlan, RedEyeConfig, TimingBreakdown};
 pub use executor::{
     ExecutionResult, Executor, FrameCtx, FrameEngine, FrameOutput, MacDomain, NoiseMode,
+};
+pub use fleet::{
+    frame_digest, DeviceCalib, DeviceCtx, DeviceFrame, DeviceOutcome, DeviceProfile, DeviceScratch,
+    DeviceWork, FleetEngine, FleetExecutor, FleetOptions, FleetReport, FrameStat,
 };
 pub use partition::{partition_googlenet, Depth};
 pub use redeye_verify::{
@@ -76,6 +86,7 @@ pub use redeye_verify::{
     ResourceLimits, Severity, VerifyOptions,
 };
 pub use sram::{FeatureSram, ProgramSram, FEATURE_SRAM_BYTES, KERNEL_SRAM_BYTES, TOTAL_SRAM_BYTES};
+pub use stealing::{run_stealing, Placement, StealOptions, StealStats, VictimOrder};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -21,13 +21,17 @@
 //!   quantization scan it actually needs for GoogLeNet;
 //! - [`privacy`] — the §VII feature-inversion attack and its quantified
 //!   reconstruction error (a future-work direction of the paper, implemented
-//!   here).
+//!   here), plus the proactive [`privacy::pixelate`] capture filter;
+//! - [`fleet`] — mixed-workload input construction (continuous / low-light /
+//!   privacy capture) for the `redeye-core` fleet engine, with frame sets
+//!   `Arc`-shared across every device of a kind.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod accuracy;
 mod error;
+pub mod fleet;
 mod instrument;
 mod noise;
 pub mod privacy;
@@ -35,6 +39,7 @@ pub mod search;
 
 pub use accuracy::{AccuracyHarness, AccuracyReport};
 pub use error::SimError;
+pub use fleet::{fleet_workload, WorkloadKind, WorkloadOptions};
 pub use instrument::{extract_params, instrument, load_params, InstrumentOptions};
 pub use noise::{GaussianNoise, QuantizationNoise};
 

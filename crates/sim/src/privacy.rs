@@ -116,6 +116,61 @@ pub fn reconstruction_error(original: &Tensor, reconstruction: &Tensor) -> Resul
     Ok(original.rms_error(reconstruction)? / rms.max(1e-9))
 }
 
+/// Pixelates a `[C, H, W]` image by block-averaging: every `block × block`
+/// tile (clipped at the borders) is replaced by its mean, per channel.
+///
+/// This is the *proactive* side of the paper's §VII privacy story: a device
+/// that degrades spatial detail before the analog pipeline ever sees the
+/// frame, so even a perfect feature inversion can only recover the
+/// pixelated scene. It is a pure function — same image and block size, same
+/// output bits — so fleet runs that apply it stay bit-deterministic.
+///
+/// # Errors
+///
+/// Returns [`SimError::ParamMismatch`] if `block == 0` or the image is not
+/// three-dimensional.
+pub fn pixelate(image: &Tensor, block: usize) -> Result<Tensor> {
+    if block == 0 {
+        return Err(SimError::ParamMismatch {
+            reason: "pixelate block size must be at least 1".to_string(),
+        });
+    }
+    let dims = image.dims();
+    let [c, h, w] = *dims else {
+        return Err(SimError::ParamMismatch {
+            reason: format!("pixelate expects a [C, H, W] image, got {dims:?}"),
+        });
+    };
+    if block == 1 {
+        return Ok(image.clone());
+    }
+    let src = image.as_slice();
+    let mut out = Tensor::zeros(dims);
+    let dst = out.as_mut_slice();
+    for ch in 0..c {
+        let plane = ch * h * w;
+        for by in (0..h).step_by(block) {
+            let y1 = (by + block).min(h);
+            for bx in (0..w).step_by(block) {
+                let x1 = (bx + block).min(w);
+                let mut sum = 0.0f32;
+                for y in by..y1 {
+                    for x in bx..x1 {
+                        sum += src[plane + y * w + x];
+                    }
+                }
+                let mean = sum / ((y1 - by) * (x1 - bx)) as f32;
+                for y in by..y1 {
+                    for x in bx..x1 {
+                        dst[plane + y * w + x] = mean;
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,5 +289,44 @@ mod tests {
     fn reconstruction_error_is_zero_for_identity() {
         let img = test_image();
         assert_eq!(reconstruction_error(&img, &img).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn pixelate_preserves_means_and_flattens_blocks() {
+        let img = test_image();
+        let coarse = pixelate(&img, 8).unwrap();
+        assert_eq!(coarse.dims(), img.dims());
+        // Block-averaging preserves each full block's mean, hence ~the
+        // image mean (all blocks here divide 32 evenly).
+        let mean = |t: &Tensor| t.iter().sum::<f32>() / t.len() as f32;
+        assert!((mean(&img) - mean(&coarse)).abs() < 1e-5);
+        // Every pixel inside the first 8×8 tile of channel 0 is identical.
+        let first = coarse.at(&[0, 0, 0]).unwrap();
+        for y in 0..8 {
+            for x in 0..8 {
+                assert_eq!(coarse.at(&[0, y, x]).unwrap(), first);
+            }
+        }
+        // Detail is actually destroyed: variance drops.
+        let var = |t: &Tensor| {
+            let m = mean(t);
+            t.iter().map(|v| (v - m) * (v - m)).sum::<f32>() / t.len() as f32
+        };
+        assert!(var(&coarse) < var(&img));
+    }
+
+    #[test]
+    fn pixelate_is_pure_and_handles_edges() {
+        let img = test_image();
+        let a = pixelate(&img, 5).unwrap(); // 5 does not divide 32: ragged border tiles
+        let b = pixelate(&img, 5).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice(), "pixelate must be bit-pure");
+        assert_eq!(
+            pixelate(&img, 1).unwrap().as_slice(),
+            img.as_slice(),
+            "block 1 is the identity"
+        );
+        assert!(pixelate(&img, 0).is_err());
+        assert!(pixelate(&Tensor::zeros(&[4, 4]), 2).is_err());
     }
 }

@@ -1,0 +1,261 @@
+//! Cloudlet-side queueing for fleet offload (§V-B's system context at
+//! population scale).
+//!
+//! The paper's Fig. 13 story has RedEye sensors radioing quantized
+//! features over BLE to a cloudlet that finishes the network. One sensor
+//! barely loads a host; a *fleet* of them turns the cloudlet into a
+//! queueing system, and the interesting population metrics are tail
+//! latency and saturation, not means. This module layers a deterministic
+//! single-server FIFO queue over the existing [`BleLink`] transfer model
+//! and [`JetsonHost`](crate::JetsonHost) service times:
+//!
+//! - each fleet frame becomes a job `(capture-complete time, payload
+//!   bits)`;
+//! - the job reaches the cloudlet after its BLE transfer time;
+//! - the host serves jobs FIFO at a fixed per-frame service time (the
+//!   GoogLeNet-suffix measurement for the fleet's partition depth);
+//! - end-to-end latency is capture-complete → service-complete, so it
+//!   includes radio, queueing, and compute.
+//!
+//! Everything is exact arithmetic over the job list — no sampling — so a
+//! fleet report's tail latencies are reproducible to the bit, which keeps
+//! the fleet determinism digests meaningful end to end.
+
+use crate::BleLink;
+use redeye_analog::{Joules, Seconds, Watts};
+
+/// Latency percentiles over one simulated window (nearest-rank).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyPercentiles {
+    /// Median end-to-end latency.
+    pub p50: Seconds,
+    /// 95th-percentile latency.
+    pub p95: Seconds,
+    /// 99th-percentile latency.
+    pub p99: Seconds,
+}
+
+/// The cloudlet's view of one fleet window: tail latency, load, and the
+/// system-side energy split.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CloudletReport {
+    /// Jobs served (one per fleet frame).
+    pub served: usize,
+    /// End-to-end (capture-complete → service-complete) percentiles.
+    pub latency: LatencyPercentiles,
+    /// Mean end-to-end latency.
+    pub mean_latency: Seconds,
+    /// Server busy fraction over the window (0 idle … 1 saturated).
+    pub utilization: f64,
+    /// Offered load ρ: work arriving per unit of arrival span. Above 1 the
+    /// queue grows without bound and tail latency explodes.
+    pub offered_load: f64,
+    /// First capture-complete → last service-complete.
+    pub makespan: Seconds,
+    /// Total BLE radio energy across all transfers.
+    pub ble_energy: Joules,
+    /// Total host compute energy (`power × busy time`).
+    pub host_energy: Joules,
+}
+
+/// A deterministic single-server FIFO cloudlet: BLE ingress plus a
+/// fixed-service-time host.
+#[derive(Debug, Clone, Copy)]
+pub struct Cloudlet {
+    link: BleLink,
+    service: Seconds,
+    host_power: Watts,
+}
+
+impl Cloudlet {
+    /// A cloudlet with an explicit per-job service time and host power.
+    pub fn new(link: BleLink, service: Seconds, host_power: Watts) -> Cloudlet {
+        Cloudlet {
+            link,
+            service,
+            host_power,
+        }
+    }
+
+    /// Per-job service time.
+    pub fn service(&self) -> Seconds {
+        self.service
+    }
+
+    /// The ingress link model.
+    pub fn link(&self) -> &BleLink {
+        &self.link
+    }
+
+    /// Simulates one window of jobs `(capture_complete, payload_bits)` in
+    /// fleet submission order and returns the population report.
+    ///
+    /// Jobs enter service in cloudlet-arrival order (capture-complete time
+    /// plus BLE transfer time), ties broken by submission order, and the
+    /// server never idles while work is queued. The whole simulation is
+    /// exact f64 arithmetic over the inputs — same jobs, same report, to
+    /// the bit.
+    pub fn simulate(&self, jobs: &[(Seconds, u64)]) -> CloudletReport {
+        let zero = Seconds::zero();
+        if jobs.is_empty() {
+            return CloudletReport {
+                served: 0,
+                latency: LatencyPercentiles {
+                    p50: zero,
+                    p95: zero,
+                    p99: zero,
+                },
+                mean_latency: zero,
+                utilization: 0.0,
+                offered_load: 0.0,
+                makespan: zero,
+                ble_energy: Joules::zero(),
+                host_energy: Joules::zero(),
+            };
+        }
+
+        // Arrival at the cloudlet: capture-complete + BLE transfer.
+        let mut arrivals: Vec<(usize, f64, f64)> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, &(t, bits))| {
+                let arrival = t.value() + self.link.time(bits).value();
+                (i, t.value(), arrival)
+            })
+            .collect();
+        arrivals.sort_by(|a, b| a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)));
+
+        let service = self.service.value();
+        let first_capture = jobs
+            .iter()
+            .map(|&(t, _)| t.value())
+            .fold(f64::INFINITY, f64::min);
+        let first_arrival = arrivals[0].2;
+        let last_arrival = arrivals[arrivals.len() - 1].2;
+
+        let mut busy_until = f64::NEG_INFINITY;
+        let mut sojourns: Vec<f64> = Vec::with_capacity(arrivals.len());
+        let mut sum = 0.0f64;
+        for &(_, captured, arrival) in &arrivals {
+            let start = arrival.max(busy_until);
+            let end = start + service;
+            busy_until = end;
+            let sojourn = end - captured;
+            sum += sojourn;
+            sojourns.push(sojourn);
+        }
+        let last_end = busy_until;
+        sojourns.sort_by(f64::total_cmp);
+
+        let n = sojourns.len();
+        let pick = |p: f64| -> Seconds {
+            let rank = ((p * n as f64).ceil() as usize).clamp(1, n);
+            Seconds::new(sojourns[rank - 1])
+        };
+        let busy = service * n as f64;
+        let makespan = last_end - first_capture;
+        // Offered load over the arrival span; a single job (or a burst
+        // arriving at one instant) offers its full service backlog.
+        let span = (last_arrival - first_arrival).max(service);
+        CloudletReport {
+            served: n,
+            latency: LatencyPercentiles {
+                p50: pick(0.50),
+                p95: pick(0.95),
+                p99: pick(0.99),
+            },
+            mean_latency: Seconds::new(sum / n as f64),
+            utilization: if makespan > 0.0 { busy / makespan } else { 1.0 },
+            offered_load: busy / span,
+            makespan: Seconds::new(makespan),
+            ble_energy: jobs.iter().fold(Joules::zero(), |acc, &(_, bits)| {
+                acc + self.link.energy(bits)
+            }),
+            host_energy: self.host_power * Seconds::new(busy),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cloudlet(service_s: f64) -> Cloudlet {
+        Cloudlet::new(
+            BleLink::paper_characterization(),
+            Seconds::new(service_s),
+            Watts::new(12.2),
+        )
+    }
+
+    #[test]
+    fn single_job_latency_is_radio_plus_service() {
+        let c = cloudlet(0.02);
+        let bits = 10_000u64;
+        let report = c.simulate(&[(Seconds::zero(), bits)]);
+        let want = c.link().time(bits).value() + 0.02;
+        assert!((report.latency.p50.value() - want).abs() < 1e-12);
+        assert_eq!(report.served, 1);
+        assert!((report.latency.p99.value() - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spaced_jobs_never_queue_and_tight_jobs_do() {
+        let c = cloudlet(0.1);
+        let bits = 1_000u64;
+        // Spaced far beyond the service time: every sojourn equals the
+        // no-queue latency.
+        let spaced: Vec<(Seconds, u64)> = (0..10).map(|i| (Seconds::new(i as f64), bits)).collect();
+        let relaxed = c.simulate(&spaced);
+        assert!(
+            (relaxed.latency.p99.value() - relaxed.latency.p50.value()).abs() < 1e-12,
+            "no queueing: tail equals median"
+        );
+        assert!(relaxed.utilization < 0.2);
+
+        // All at once: job k waits k service times.
+        let burst: Vec<(Seconds, u64)> = (0..10).map(|_| (Seconds::zero(), bits)).collect();
+        let slammed = c.simulate(&burst);
+        assert!(slammed.latency.p99 > slammed.latency.p50);
+        assert!(slammed.offered_load > 1.0, "a burst overloads the window");
+        let base = c.link().time(bits).value();
+        assert!((slammed.latency.p99.value() - (base + 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_grows_with_fleet_size() {
+        let c = cloudlet(0.05);
+        let window = 10.0f64;
+        let mut last = 0.0;
+        for fleet in [10usize, 50, 100] {
+            let jobs: Vec<(Seconds, u64)> = (0..fleet)
+                .map(|i| (Seconds::new(window * i as f64 / fleet as f64), 1_000))
+                .collect();
+            let report = c.simulate(&jobs);
+            assert!(report.utilization > last);
+            last = report.utilization;
+        }
+        assert!(last > 0.4, "100 × 50 ms over ~10 s loads the host: {last}");
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let c = cloudlet(0.033);
+        let jobs: Vec<(Seconds, u64)> = (0..64)
+            .map(|i| (Seconds::new((i % 7) as f64 * 0.01), 1_000 + (i * 37) % 500))
+            .collect();
+        let a = c.simulate(&jobs);
+        let b = c.simulate(&jobs);
+        assert_eq!(a, b);
+        assert_eq!(a.served, 64);
+        assert!(a.latency.p50 <= a.latency.p95);
+        assert!(a.latency.p95 <= a.latency.p99);
+    }
+
+    #[test]
+    fn empty_window_is_empty() {
+        let report = cloudlet(0.1).simulate(&[]);
+        assert_eq!(report.served, 0);
+        assert_eq!(report.utilization, 0.0);
+    }
+}

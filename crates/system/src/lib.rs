@@ -14,12 +14,17 @@
 //!   reproduced exactly;
 //! - [`ShiDianNao`] — 144 instances of a 64×30 patch at stride 16, 2.18 mJ
 //!   per 227×227 frame;
-//! - [`scenario`] — the six Fig. 8 bars and the §V-B headline reductions.
+//! - [`scenario`] — the six Fig. 8 bars and the §V-B headline reductions;
+//! - [`Cloudlet`] — a deterministic single-server FIFO queue over
+//!   [`BleLink`] ingress and [`JetsonHost`] service times, reporting
+//!   population tail latency (p50/p95/p99) and saturation for fleet-scale
+//!   offload.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod ble;
+mod cloudlet;
 mod image_sensor;
 mod jetson;
 pub mod optimize;
@@ -27,6 +32,7 @@ pub mod scenario;
 mod shidiannao;
 
 pub use ble::BleLink;
+pub use cloudlet::{Cloudlet, CloudletReport, LatencyPercentiles};
 pub use image_sensor::ImageSensor;
 pub use jetson::{HostMeasurement, JetsonHost, JetsonKind};
 pub use shidiannao::ShiDianNao;
