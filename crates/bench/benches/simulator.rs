@@ -9,7 +9,10 @@ use redeye_core::{
 };
 use redeye_nn::{build_network, summarize, zoo, WeightInit};
 use redeye_system::scenario;
-use redeye_tensor::{gemm, gemm_i8_into, matmul_naive, PackBuffersI8, Rng, Tensor, Workspace};
+use redeye_tensor::{
+    conv_gemm_packed_into, gemm, gemm_i8_into, gemm_into, gemm_into_level, im2col_into,
+    matmul_naive, ConvGeom, PackBuffersI8, PackedWeights, Rng, SimdLevel, Tensor, Workspace,
+};
 
 /// Fig. 7 / Table I path: the analytic GoogLeNet estimator at all depths.
 fn bench_estimator(c: &mut Criterion) {
@@ -256,6 +259,87 @@ fn bench_gemm_i8(c: &mut Criterion) {
     });
 }
 
+/// The implicit-GEMM conv path (pack-once weights, B-panels gathered
+/// straight from the C×H×W input) against the explicit im2col lowering at
+/// the Depth3 inception-3a 3×3 shape. Both produce bit-identical output;
+/// the difference is staging work and workspace footprint.
+fn bench_conv_implicit(c: &mut Criterion) {
+    let (in_c, in_h, in_w, kernel, out_c) = (64usize, 57, 57, 3, 192);
+    let geom = ConvGeom::new(in_c, in_h, in_w, kernel, kernel, 1, 1).unwrap();
+    let (patch, positions) = (geom.patch_len(), geom.out_positions());
+    let mut rng = Rng::seed_from(11);
+    let x = Tensor::uniform(&[in_c, in_h, in_w], -1.0, 1.0, &mut rng);
+    let weights = Tensor::uniform(&[out_c, patch], -1.0, 1.0, &mut rng);
+    let packed = PackedWeights::pack(weights.as_slice(), out_c, patch);
+    let mut out = vec![0.0f32; out_c * positions];
+    let mut ws = Workspace::new();
+    c.bench_function("conv/implicit_vs_im2col/im2col_depth3", |bch| {
+        bch.iter(|| {
+            let (cols, packs) = ws.split_im2col_packs();
+            im2col_into(&x, &geom, cols).unwrap();
+            gemm_into(
+                packs,
+                false,
+                false,
+                weights.as_slice(),
+                cols,
+                &mut out,
+                out_c,
+                positions,
+                patch,
+                1,
+            );
+            std::hint::black_box(&out);
+        });
+    });
+    c.bench_function("conv/implicit_vs_im2col/implicit_depth3", |bch| {
+        bch.iter(|| {
+            conv_gemm_packed_into(
+                ws.packs_mut(),
+                SimdLevel::auto(),
+                &packed,
+                x.as_slice(),
+                &geom,
+                &mut out,
+                1,
+            );
+            std::hint::black_box(&out);
+        });
+    });
+}
+
+/// Every compiled f32 microkernel level on one square GEMM. All levels are
+/// bit-identical; under `-C target-cpu=native` the portable kernel already
+/// autovectorizes, so these curves measure the guaranteed vector floor.
+fn bench_gemm_simd(c: &mut Criterion) {
+    let size = 512usize;
+    let mut rng = Rng::seed_from(13);
+    let a = Tensor::uniform(&[size, size], -1.0, 1.0, &mut rng);
+    let b = Tensor::uniform(&[size, size], -1.0, 1.0, &mut rng);
+    let mut out = vec![0.0f32; size * size];
+    let mut ws = Workspace::new();
+    for level in SimdLevel::available_levels() {
+        c.bench_function(&format!("gemm/simd_vs_portable/{level}_{size}"), |bch| {
+            bch.iter(|| {
+                gemm_into_level(
+                    ws.packs_mut(),
+                    level,
+                    false,
+                    false,
+                    a.as_slice(),
+                    b.as_slice(),
+                    &mut out,
+                    size,
+                    size,
+                    size,
+                    1,
+                );
+                std::hint::black_box(&out);
+            });
+        });
+    }
+}
+
 /// Depth sweep of the analytic path used by the partition explorer.
 fn bench_depths(c: &mut Criterion) {
     let config = RedEyeConfig::default();
@@ -287,6 +371,8 @@ criterion_group!(
     bench_ablation,
     bench_gemm,
     bench_gemm_i8,
+    bench_conv_implicit,
+    bench_gemm_simd,
     bench_depths
 );
 criterion_main!(benches);

@@ -15,6 +15,11 @@
 //! - **GEMM i8** (`BENCH_gemm_i8.json`, via `--gemm-i8`): the integer
 //!   code-domain GEMM engine against the f32 engine at the Depth3 conv
 //!   shape, single thread.
+//! - **Conv** (`BENCH_conv.json`, via `--conv`): the implicit-GEMM conv
+//!   path (pack-once weights, no im2col matrix) against the explicit
+//!   im2col lowering at per-layer shapes — each row carries the peak
+//!   workspace bytes its path staged — plus the f32 microkernel at every
+//!   compiled [`SimdLevel`] on a square GEMM.
 //!
 //! GEMM/analog/gemm-i8 rows are `{name, wall_ms, threads}`; throughput
 //! rows are `{name, frames, wall_ms, fps, workers}`.
@@ -24,6 +29,7 @@
 //! - `--analog-only`: run only the analog section.
 //! - `--throughput`: run only the throughput section.
 //! - `--gemm-i8`: run only the integer-GEMM section.
+//! - `--conv`: run only the convolution-path section.
 //! - `--smoke`: CI-sized run — Depth1 only, fewer reps, smaller kernels.
 //! - `--workers <n|auto>`: worker budget for the throughput sweep
 //!   (default `auto` = `available_parallelism`); the sweep covers
@@ -32,14 +38,15 @@
 //! Each swept depth's `DepthScenario` (compiled program + input) is built
 //! exactly once and shared by the analog and throughput sections.
 
-use redeye_bench::schema::{Row, ThroughputRow};
+use redeye_bench::schema::{ConvRow, Row, ThroughputRow};
 use redeye_bench::workload::{self, DepthScenario};
 use redeye_core::{auto_workers, BatchExecutor, Depth, Executor, NoiseMode};
 use redeye_nn::{build_network, zoo, Network, NetworkSpec, WeightInit};
 use redeye_sim::{extract_params, instrument, AccuracyHarness, InstrumentOptions};
 use redeye_tensor::{
-    gemm, gemm_i8_into, matmul_naive, NoiseSource, NoiseStream, PackBuffersI8, Rng, Tensor,
-    Workspace,
+    conv_gemm_packed_into, gemm, gemm_i8_into, gemm_into, gemm_into_level, im2col_into,
+    matmul_naive, ConvGeom, NoiseSource, NoiseStream, PackBuffersI8, PackedWeights, Rng, SimdLevel,
+    Tensor, Workspace,
 };
 use std::time::Instant;
 
@@ -398,6 +405,165 @@ fn bench_throughput(
     }
 }
 
+/// The implicit-GEMM conv path against the explicit im2col lowering, per
+/// conv-layer shape, single thread. Each path runs in its own fresh
+/// [`Workspace`] so the reported `peak_ws_bytes` is exactly the staging
+/// footprint that path requires: the explicit rows pay for the im2col
+/// matrix, the implicit rows show it gone. A final sweep times the bare
+/// microkernel at every compiled [`SimdLevel`] on a square GEMM (the
+/// portable kernel autovectorizes under `-C target-cpu=native`, so these
+/// rows measure the *guaranteed* vector floor, not a portable penalty).
+fn bench_conv(rows: &mut Vec<ConvRow>, smoke: bool) {
+    // (label, [in_c, in_h, in_w, kernel, stride, pad, out_c]): the
+    // MicroNet stem and the Depth3 inception-3a 3x3 branch (m=192, k=576,
+    // n=3249), the acceptance shape the i8 section also uses.
+    let shapes: &[(&str, [usize; 7])] = &[
+        ("micronet_stem", [3, 32, 32, 3, 1, 1, 16]),
+        ("depth3_3x3", [64, 57, 57, 3, 1, 1, 192]),
+    ];
+    let reps = if smoke { 3 } else { 7 };
+    for &(label, [c, h, w, k, stride, pad, out_c]) in shapes {
+        let geom = ConvGeom::new(c, h, w, k, k, stride, pad).expect("conv geometry");
+        let (patch, positions) = (geom.patch_len(), geom.out_positions());
+        let mut rng = Rng::seed_from(11);
+        let x = Tensor::uniform(&[c, h, w], -1.0, 1.0, &mut rng);
+        let weights = Tensor::uniform(&[out_c, patch], -1.0, 1.0, &mut rng);
+        let packed = PackedWeights::pack(weights.as_slice(), out_c, patch);
+        let mut out = vec![0.0f32; out_c * positions];
+
+        // Warm each workspace to its high-water mark before timing.
+        let mut ws_explicit = Workspace::new();
+        let mut ws_implicit = Workspace::new();
+        let explicit_pass = |ws: &mut Workspace, out: &mut [f32]| {
+            let (cols, packs) = ws.split_im2col_packs();
+            im2col_into(&x, &geom, cols).expect("im2col");
+            gemm_into(
+                packs,
+                false,
+                false,
+                weights.as_slice(),
+                cols,
+                out,
+                out_c,
+                positions,
+                patch,
+                1,
+            );
+        };
+        explicit_pass(&mut ws_explicit, &mut out);
+        conv_gemm_packed_into(
+            ws_implicit.packs_mut(),
+            SimdLevel::auto(),
+            &packed,
+            x.as_slice(),
+            &geom,
+            &mut out,
+            1,
+        );
+
+        // Interleave so host-load drift hits both paths equally.
+        let mut explicit_ms = f64::INFINITY;
+        let mut implicit_ms = f64::INFINITY;
+        for _ in 0..reps {
+            explicit_ms = explicit_ms.min(best_of(1, || {
+                explicit_pass(&mut ws_explicit, &mut out);
+                std::hint::black_box(&out);
+            }));
+            implicit_ms = implicit_ms.min(best_of(1, || {
+                conv_gemm_packed_into(
+                    ws_implicit.packs_mut(),
+                    SimdLevel::auto(),
+                    &packed,
+                    x.as_slice(),
+                    &geom,
+                    &mut out,
+                    1,
+                );
+                std::hint::black_box(&out);
+            }));
+        }
+
+        let explicit_ws = ws_explicit.peak_bytes();
+        let implicit_ws = ws_implicit.peak_bytes() + packed.bytes();
+        println!(
+            "conv {label}: im2col {explicit_ms:.2} ms / {explicit_ws} B ws | \
+             implicit {implicit_ms:.2} ms / {implicit_ws} B ws ({:.2}x, {:.2}x ws)",
+            explicit_ms / implicit_ms,
+            explicit_ws as f64 / implicit_ws.max(1) as f64,
+        );
+        rows.push(ConvRow {
+            name: format!("conv_{label}_im2col"),
+            wall_ms: explicit_ms,
+            threads: 1,
+            peak_ws_bytes: explicit_ws,
+        });
+        rows.push(ConvRow {
+            name: format!("conv_{label}_implicit"),
+            wall_ms: implicit_ms,
+            threads: 1,
+            peak_ws_bytes: implicit_ws,
+        });
+    }
+
+    // Bare-microkernel sweep: every compiled level on one square GEMM.
+    let size = if smoke { 256 } else { 512 };
+    let mut rng = Rng::seed_from(13);
+    let a = Tensor::uniform(&[size, size], -1.0, 1.0, &mut rng);
+    let b = Tensor::uniform(&[size, size], -1.0, 1.0, &mut rng);
+    let mut out = vec![0.0f32; size * size];
+    let mut ws = Workspace::new();
+    let reps = if smoke { 3 } else { 5 };
+    let mut level_ms: Vec<(SimdLevel, f64)> = SimdLevel::available_levels()
+        .into_iter()
+        .map(|l| (l, f64::INFINITY))
+        .collect();
+    gemm_into(
+        ws.packs_mut(),
+        false,
+        false,
+        a.as_slice(),
+        b.as_slice(),
+        &mut out,
+        size,
+        size,
+        size,
+        1,
+    );
+    for _ in 0..reps {
+        for (level, best) in &mut level_ms {
+            *best = best.min(best_of(1, || {
+                gemm_into_level(
+                    ws.packs_mut(),
+                    *level,
+                    false,
+                    false,
+                    a.as_slice(),
+                    b.as_slice(),
+                    &mut out,
+                    size,
+                    size,
+                    size,
+                    1,
+                );
+                std::hint::black_box(&out);
+            }));
+        }
+    }
+    let portable_ms = level_ms[0].1;
+    for (level, wall_ms) in level_ms {
+        println!(
+            "gemm {size}^3 simd {level}: {wall_ms:.2} ms ({:.2}x vs portable)",
+            portable_ms / wall_ms,
+        );
+        rows.push(ConvRow {
+            name: format!("gemm_{size}_simd_{level}"),
+            wall_ms,
+            threads: 1,
+            peak_ws_bytes: ws.peak_bytes(),
+        });
+    }
+}
+
 /// Parses `--workers <n|auto>`; the default worker budget is the machine's
 /// available parallelism.
 fn parse_workers(args: &[String]) -> usize {
@@ -424,7 +590,17 @@ fn main() {
     let analog_only = args.iter().any(|a| a == "--analog-only");
     let throughput_only = args.iter().any(|a| a == "--throughput");
     let gemm_i8_only = args.iter().any(|a| a == "--gemm-i8");
+    let conv_only = args.iter().any(|a| a == "--conv");
     let max_workers = parse_workers(&args);
+
+    if conv_only {
+        let mut rows: Vec<ConvRow> = Vec::new();
+        bench_conv(&mut rows, smoke);
+        let json = serde_json::to_string_pretty(&rows).expect("serialize rows");
+        std::fs::write("BENCH_conv.json", json).expect("write BENCH_conv.json");
+        println!("wrote BENCH_conv.json ({} rows)", rows.len());
+        return;
+    }
 
     if gemm_i8_only {
         let mut rows: Vec<Row> = Vec::new();

@@ -49,6 +49,7 @@ fn main() -> ExitCode {
         };
         match validate_report(&json) {
             Ok(ReportShape::WallClock(n)) => println!("{name}: ok ({n} wall-clock rows)"),
+            Ok(ReportShape::Conv(n)) => println!("{name}: ok ({n} conv rows)"),
             Ok(ReportShape::Throughput(n)) => println!("{name}: ok ({n} throughput rows)"),
             Ok(ReportShape::Fleet(n)) => println!("{name}: ok ({n} fleet rows)"),
             Err(e) => {

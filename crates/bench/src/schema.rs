@@ -8,19 +8,25 @@
 //! drifts from the schema fails the build instead of silently breaking
 //! consumers.
 //!
-//! Three row shapes exist:
+//! Four row shapes exist:
 //!
 //! - [`Row`] — wall-clock sections (`BENCH_gemm.json`, `BENCH_analog.json`,
 //!   `BENCH_gemm_i8.json`): `{name, wall_ms, threads}`;
+//! - [`ConvRow`] — convolution-path sections (`BENCH_conv.json`): a
+//!   wall-clock row plus the peak workspace footprint the measured path
+//!   staged, `{name, wall_ms, threads, peak_ws_bytes}`;
 //! - [`ThroughputRow`] — frame-stream sections (`BENCH_throughput.json`):
 //!   `{name, frames, wall_ms, fps, workers}`;
 //! - [`FleetRow`] — population sections (`BENCH_fleet.json`): fleet size,
 //!   worker count, wall time, population energy, cloudlet tail latency, and
 //!   the fleet output digest.
 //!
-//! Required-field sets are pairwise disjoint (`threads` vs `fps` vs
-//! `energy_mj`/`digest`), so every well-formed report matches exactly one
-//! shape.
+//! Required-field sets are disjoint across shapes with one deliberate
+//! exception: a [`ConvRow`] is a [`Row`] plus `peak_ws_bytes`, and the
+//! parser ignores unknown fields, so a conv report also parses as plain
+//! wall-clock rows. [`validate_report`] resolves that containment by
+//! precedence — a report carrying `peak_ws_bytes` on every row is a conv
+//! report, never a wall-clock one.
 
 use serde::{Deserialize, Serialize};
 
@@ -33,6 +39,22 @@ pub struct Row {
     pub wall_ms: f64,
     /// Worker threads the observation ran with.
     pub threads: usize,
+}
+
+/// One convolution-path observation: a wall-clock row plus the peak
+/// scratch-arena footprint (`Workspace::peak_bytes`) the measured path
+/// reached — the metric the implicit-GEMM path exists to shrink (its
+/// `im2col` arena capacity stays zero).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConvRow {
+    /// Benchmark identifier, e.g. `conv_depth3_implicit`.
+    pub name: String,
+    /// Best-of wall time in milliseconds.
+    pub wall_ms: f64,
+    /// Worker threads the observation ran with.
+    pub threads: usize,
+    /// Peak workspace bytes staged by the measured path.
+    pub peak_ws_bytes: usize,
 }
 
 /// One frame-throughput observation: `fps` is the headline
@@ -86,6 +108,8 @@ pub struct FleetRow {
 pub enum ReportShape {
     /// A `Vec<Row>` report with this many rows.
     WallClock(usize),
+    /// A `Vec<ConvRow>` report with this many rows.
+    Conv(usize),
     /// A `Vec<ThroughputRow>` report with this many rows.
     Throughput(usize),
     /// A `Vec<FleetRow>` report with this many rows.
@@ -99,13 +123,26 @@ pub enum ReportShape {
 /// why the report is malformed.
 pub fn validate_report(json: &str) -> Result<ReportShape, String> {
     let as_rows = serde_json::from_str::<Vec<Row>>(json).map(|r| r.len());
+    let as_conv = serde_json::from_str::<Vec<ConvRow>>(json).map(|r| r.len());
     let as_throughput = serde_json::from_str::<Vec<ThroughputRow>>(json).map(|r| r.len());
     let as_fleet = serde_json::from_str::<Vec<FleetRow>>(json).map(|r| r.len());
-    if matches!(as_rows, Ok(0)) || matches!(as_throughput, Ok(0)) || matches!(as_fleet, Ok(0)) {
+    if matches!(as_rows, Ok(0))
+        || matches!(as_conv, Ok(0))
+        || matches!(as_throughput, Ok(0))
+        || matches!(as_fleet, Ok(0))
+    {
         return Err("report is an empty array".into());
     }
+    // Containment precedence (see the module docs): a report whose rows
+    // all carry `peak_ws_bytes` is a conv report even though the lenient
+    // parser also accepts it as plain wall-clock rows.
+    let as_rows = match (&as_rows, &as_conv) {
+        (Ok(_), Ok(_)) => Err(()),
+        _ => as_rows.map_err(|_| ()),
+    };
     let matches: Vec<ReportShape> = [
         as_rows.ok().map(ReportShape::WallClock),
+        as_conv.ok().map(ReportShape::Conv),
         as_throughput.ok().map(ReportShape::Throughput),
         as_fleet.ok().map(ReportShape::Fleet),
     ]
@@ -145,6 +182,25 @@ mod tests {
              "fps": 1333.3, "workers": 2}
         ]"#;
         assert_eq!(validate_report(json), Ok(ReportShape::Throughput(2)));
+    }
+
+    #[test]
+    fn conv_reports_validate_and_stay_disjoint_from_wall_clock() {
+        let rows = vec![ConvRow {
+            name: "conv_depth3_implicit".into(),
+            wall_ms: 9.8,
+            threads: 1,
+            peak_ws_bytes: 1_048_576,
+        }];
+        let json = serde_json::to_string_pretty(&rows).unwrap();
+        // The lenient parser also accepts conv rows as plain wall-clock
+        // rows; precedence resolves the containment toward Conv.
+        assert_eq!(validate_report(&json), Ok(ReportShape::Conv(1)));
+        // A plain Row is missing a required ConvRow field, so wall-clock
+        // reports still validate as wall-clock.
+        let plain = r#"[{"name": "gemm_256_packed", "wall_ms": 1.5, "threads": 1}]"#;
+        assert!(serde_json::from_str::<Vec<ConvRow>>(plain).is_err());
+        assert_eq!(validate_report(plain), Ok(ReportShape::WallClock(1)));
     }
 
     #[test]

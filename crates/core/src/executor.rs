@@ -46,8 +46,8 @@ use redeye_analog::calib::{
 };
 use redeye_analog::{Comparator, DampingConfig, SarAdc, Seconds, SnrDb};
 use redeye_tensor::{
-    gemm_i8_into, gemm_into, im2col_into, ConvGeom, NoiseSource, NoiseStream, PackBuffersI8,
-    PoolGeom, Tensor, Workspace,
+    conv_gemm_into, conv_gemm_packed_into, gemm_i8_into, gemm_into_level, im2col_into, ConvGeom,
+    NoiseSource, NoiseStream, PackBuffersI8, PackedWeights, PoolGeom, SimdLevel, Tensor, Workspace,
 };
 use std::sync::OnceLock;
 
@@ -198,6 +198,10 @@ pub struct FrameEngine {
     noise_mode: NoiseMode,
     /// Arithmetic domain for the noiseless conv MAC.
     mac_domain: MacDomain,
+    /// f32 GEMM microkernel level. All levels are bit-identical (see
+    /// [`SimdLevel`]); the knob exists for benchmarks and equivalence
+    /// tests that pin a kernel without racing on `REDEYE_SIMD`.
+    simd: SimdLevel,
     /// Per-frame cost caps enforced during pre-frame verification.
     budget: redeye_verify::CostBudget,
     /// Set once the program passes static verification; checked lazily on
@@ -224,6 +228,7 @@ impl FrameEngine {
             analog_threads: 1,
             noise_mode: NoiseMode::default(),
             mac_domain: MacDomain::default(),
+            simd: SimdLevel::auto(),
             budget: redeye_verify::CostBudget::default(),
             verified: OnceLock::new(),
         }
@@ -275,6 +280,20 @@ impl FrameEngine {
     /// The active MAC arithmetic domain.
     pub fn mac_domain(&self) -> MacDomain {
         self.mac_domain
+    }
+
+    /// Pins the f32 GEMM microkernel level for this engine's conv MACs.
+    /// Every level is bit-identical by construction (separate mul+add in
+    /// scalar accumulation order — see [`SimdLevel`]), so this is purely a
+    /// performance/diagnostic knob; levels the build does not carry clamp
+    /// down to the widest compiled kernel.
+    pub fn set_simd_level(&mut self, level: SimdLevel) {
+        self.simd = level.clamp_available();
+    }
+
+    /// The active f32 microkernel level.
+    pub fn simd_level(&self) -> SimdLevel {
+        self.simd
     }
 
     /// The loaded program.
@@ -367,6 +386,7 @@ impl FrameEngine {
             noise_mode: self.noise_mode,
             noise_scale,
             mac_domain: self.mac_domain,
+            simd: self.simd,
             ledger: EnergyLedger::new(),
             elapsed: Seconds::zero(),
             forced: 0,
@@ -444,6 +464,12 @@ struct ConvPack {
     /// `[out_c, patch]` — exactly the values the per-frame rebuild used to
     /// produce, so the f32 path is bit-identical.
     weights: Vec<f32>,
+    /// The same weights pre-packed into the GEMM engine's MR-panel layout,
+    /// shared read-only by every frame so the f32 implicit-GEMM path never
+    /// re-packs its A operand. `None` only when the instruction's weight
+    /// dims are inconsistent, which per-frame validation rejects before
+    /// the pack is consulted.
+    packed: Option<PackedWeights>,
     /// The code-domain operand, present only when the weight scale is a
     /// normal power of two and every code fits the signed 8-bit DAC range
     /// (the [`code_domain_mac`] checks that depend on weights alone).
@@ -464,8 +490,15 @@ struct CodePack {
 impl ConvPack {
     /// Packs one conv instruction's weights (both domains).
     fn build(codes: &[i32], scale: f32, out_c: usize) -> ConvPack {
+        let weights: Vec<f32> = codes.iter().map(|&c| c as f32 * scale).collect();
+        let packed = if out_c > 0 && weights.len().is_multiple_of(out_c) {
+            Some(PackedWeights::pack(&weights, out_c, weights.len() / out_c))
+        } else {
+            None
+        };
         ConvPack {
-            weights: codes.iter().map(|&c| c as f32 * scale).collect(),
+            weights,
+            packed,
             code: CodePack::build(codes, scale, out_c),
         }
     }
@@ -646,6 +679,17 @@ impl Executor {
         self.engine.mac_domain()
     }
 
+    /// Pins the f32 GEMM microkernel level (see
+    /// [`FrameEngine::set_simd_level`]). Bit-identical across levels.
+    pub fn set_simd_level(&mut self, level: SimdLevel) {
+        self.engine.set_simd_level(level);
+    }
+
+    /// The active f32 microkernel level.
+    pub fn simd_level(&self) -> SimdLevel {
+        self.engine.simd_level()
+    }
+
     /// The loaded program.
     pub fn program(&self) -> &Program {
         self.engine.program()
@@ -737,6 +781,9 @@ struct FramePass<'a> {
     /// Device amplitude factor on every layer-noise σ (1.0 nominal).
     noise_scale: f32,
     mac_domain: MacDomain,
+    /// f32 microkernel level for the conv GEMM (bit-identical across
+    /// levels; see [`SimdLevel`]).
+    simd: SimdLevel,
     ledger: EnergyLedger,
     elapsed: Seconds,
     forced: u64,
@@ -795,17 +842,22 @@ impl FramePass<'_> {
                         })?;
                 self.conv_ordinal += 1;
                 let positions = geom.out_positions();
-                let (cols, packs, packs_i8) = self.ws.split_im2col_all_packs();
-                im2col_into(x, &geom, cols)?;
                 let mut out = vec![0.0f32; *out_c * positions];
                 // The ideal MAC array is a matrix product (each output is
-                // one damped node). Under CodeI8 it runs in the integer
-                // code domain when the dynamic exactness checks pass; the
-                // fallback — and the F32 reference — multiply the packed
-                // DAC-applied weights in the voltage domain.
-                let scratch = &mut *self.code;
-                let code_hit = self.mac_domain == MacDomain::CodeI8
-                    && pack.code.as_ref().is_some_and(|pre| {
+                // one damped node). Under CodeI8 the activations must be
+                // staged through im2col anyway — the snap gate inspects
+                // the lowered f32 matrix — so that domain keeps the
+                // explicit lowering, falling back to a cols-based GEMM
+                // when the dynamic exactness checks miss. The F32
+                // reference skips im2col entirely: the implicit-GEMM
+                // packer gathers B-panels straight from the C×H×W input
+                // and multiplies through the engine's pack-once weight
+                // panels, bit-identical to the explicit lowering.
+                if self.mac_domain == MacDomain::CodeI8 {
+                    let (cols, packs, packs_i8) = self.ws.split_im2col_all_packs();
+                    im2col_into(x, &geom, cols)?;
+                    let scratch = &mut *self.code;
+                    let code_hit = pack.code.as_ref().is_some_and(|pre| {
                         code_domain_mac(
                             scratch,
                             packs_i8,
@@ -818,21 +870,47 @@ impl FramePass<'_> {
                             self.gemm_threads,
                         )
                     });
-                if code_hit {
-                    self.code_mac_hits += 1;
+                    if code_hit {
+                        self.code_mac_hits += 1;
+                    } else {
+                        gemm_into_level(
+                            packs,
+                            self.simd,
+                            false,
+                            false,
+                            &pack.weights,
+                            cols,
+                            &mut out,
+                            *out_c,
+                            positions,
+                            patch,
+                            self.gemm_threads,
+                        );
+                    }
                 } else {
-                    gemm_into(
-                        packs,
-                        false,
-                        false,
-                        &pack.weights,
-                        cols,
-                        &mut out,
-                        *out_c,
-                        positions,
-                        patch,
-                        self.gemm_threads,
-                    );
+                    match pack.packed.as_ref() {
+                        Some(pw) => conv_gemm_packed_into(
+                            self.ws.packs_mut(),
+                            self.simd,
+                            pw,
+                            x.as_slice(),
+                            &geom,
+                            &mut out,
+                            self.gemm_threads,
+                        ),
+                        // Unreachable for a program that passed the weight
+                        // dim check above; kept as a correct slow path.
+                        None => conv_gemm_into(
+                            self.ws.packs_mut(),
+                            self.simd,
+                            &pack.weights,
+                            x.as_slice(),
+                            &geom,
+                            &mut out,
+                            *out_c,
+                            self.gemm_threads,
+                        ),
+                    }
                 }
                 for (oc, &b) in bias.iter().enumerate() {
                     for v in &mut out[oc * positions..(oc + 1) * positions] {

@@ -80,6 +80,7 @@ pub use fleet::{
     DeviceWork, FleetEngine, FleetExecutor, FleetOptions, FleetReport, FrameStat,
 };
 pub use partition::{partition_googlenet, Depth};
+pub use redeye_tensor::SimdLevel;
 pub use redeye_verify::{
     analyze_cost, analyze_ranges, verify, verify_with_limits, verify_with_options, CostBounds,
     CostBudget, CostEstimate, DiagClass, Diagnostic, Instruction, Program, RangeSummary, Report,

@@ -1,7 +1,10 @@
 //! 2-D convolution with optional fused rectification.
 
 use crate::{Layer, NnError, Result, WeightInit};
-use redeye_tensor::{col2im, gemm_into, im2col_into, ConvGeom, Rng, Tensor, Workspace};
+use redeye_tensor::{
+    col2im_into, conv_gemm_into, gemm_into, im2col_into, ConvGeom, Rng, SimdLevel, Tensor,
+    Workspace,
+};
 
 /// A 2-D convolution layer (`C×H×W` → `out_c×H'×W'`), optionally fused with a
 /// ReLU, matching RedEye's convolutional module which rectifies by clipping
@@ -119,23 +122,19 @@ impl Layer for Conv2d {
     fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
         self.check_input(input)?;
         let positions = self.geom.out_positions();
-        let patch = self.geom.patch_len();
-        // Lower to matrix form in the reusable workspace, then run the packed
-        // engine straight into the output buffer: at steady state the only
-        // per-call allocation is the returned output tensor itself.
-        let (cols, packs) = self.ws.split_im2col_packs();
-        im2col_into(input, &self.geom, cols)?;
+        // Implicit-GEMM: the engine's B packer gathers receptive-field taps
+        // straight from the C×H×W input, so no im2col matrix is staged and
+        // at steady state the only per-call allocation is the returned
+        // output tensor itself. Bit-identical to the im2col lowering.
         let mut out = vec![0.0f32; self.out_c * positions];
-        gemm_into(
-            packs,
-            false,
-            false,
+        conv_gemm_into(
+            self.ws.packs_mut(),
+            SimdLevel::auto(),
             self.weights.as_slice(),
-            cols,
+            input.as_slice(),
+            &self.geom,
             &mut out,
             self.out_c,
-            positions,
-            patch,
             self.threads,
         );
         for oc in 0..self.out_c {
@@ -173,7 +172,7 @@ impl Layer for Conv2d {
                 .sum();
             self.grad_bias.as_mut_slice()[oc] += row_sum;
         }
-        let (cols, packs) = self.ws.split_im2col_packs();
+        let (cols, dcols, packs) = self.ws.split_backward();
         im2col_into(input, &self.geom, cols)?;
         // Weight gradient: g · colsᵀ (transpose absorbed by the pack step).
         let mut dw = vec![0.0f32; self.out_c * patch];
@@ -192,22 +191,34 @@ impl Layer for Conv2d {
         for (acc, v) in self.grad_weights.as_mut_slice().iter_mut().zip(dw) {
             *acc += v;
         }
-        // Input gradient: col2im(Wᵀ · g).
-        let mut dcols = vec![0.0f32; patch * positions];
+        // Input gradient: col2im(Wᵀ · g), staged entirely in workspace
+        // arenas — the only per-call allocation is the returned tensor.
+        if dcols.len() < patch * positions {
+            dcols.resize(patch * positions, 0.0);
+        }
         gemm_into(
             packs,
             true,
             false,
             self.weights.as_slice(),
             g.as_slice(),
-            &mut dcols,
+            &mut dcols[..patch * positions],
             patch,
             positions,
             self.out_c,
             self.threads,
         );
-        let dcols = Tensor::from_vec(dcols, &[patch, positions])?;
-        Ok(col2im(&dcols, &self.geom)?)
+        let mut dx = Vec::new();
+        col2im_into(
+            &dcols[..patch * positions],
+            &[patch, positions],
+            &self.geom,
+            &mut dx,
+        )?;
+        Ok(Tensor::from_vec(
+            dx,
+            &[self.geom.in_c(), self.geom.in_h(), self.geom.in_w()],
+        )?)
     }
 
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
@@ -346,6 +357,43 @@ mod tests {
             l.backward(&x, &y, &g).unwrap();
             assert_eq!(l.ws.stats(), baseline, "workspace moved or regrew");
         }
+    }
+
+    /// The implicit-GEMM forward must equal the explicit `im2col` + GEMM
+    /// lowering bit-for-bit — the layer-level face of the packer-identity
+    /// argument in the tensor crate.
+    #[test]
+    fn implicit_forward_matches_explicit_lowering_bitwise() {
+        let mut l = layer(false);
+        let mut rng = Rng::seed_from(21);
+        let x = Tensor::uniform(&[2, 5, 5], -1.0, 1.0, &mut rng);
+        let got = l.forward(&x).unwrap();
+
+        let positions = l.geom.out_positions();
+        let patch = l.geom.patch_len();
+        let mut ws = Workspace::new();
+        let (cols, packs) = ws.split_im2col_packs();
+        im2col_into(&x, &l.geom, cols).unwrap();
+        let mut want = vec![0.0f32; l.out_c * positions];
+        gemm_into(
+            packs,
+            false,
+            false,
+            l.weights.as_slice(),
+            cols,
+            &mut want,
+            l.out_c,
+            positions,
+            patch,
+            1,
+        );
+        for (oc, w) in want.chunks_mut(positions).enumerate() {
+            let b = l.bias.as_slice()[oc];
+            for v in w {
+                *v += b;
+            }
+        }
+        assert_eq!(got.as_slice(), want.as_slice());
     }
 
     #[test]

@@ -331,29 +331,52 @@ pub fn im2col_into(input: &Tensor, geom: &ConvGeom, out: &mut Vec<f32>) -> Resul
         });
     }
     let src = input.as_slice();
-    let (in_h, in_w) = (geom.in_h() as isize, geom.in_w() as isize);
+    let (in_h, in_w) = (geom.in_h(), geom.in_w());
+    let (stride, pad) = (geom.stride(), geom.pad());
+    let (out_h, out_w) = (geom.out_h(), geom.out_w());
     let cols = geom.out_positions();
     let rows = geom.patch_len();
-    // clear + resize zero-fills within existing capacity (no reallocation
-    // once the buffer has reached its high-water mark).
-    out.clear();
+    // Every element below is written exactly once (padding taps explicitly
+    // as zeros), so the buffer is only *sized* here, never pre-zeroed: at
+    // steady state `resize` is a no-op and the old full-buffer zero-fill —
+    // pure overhead at pad == 0, where no padding taps exist — is gone.
     out.resize(rows * cols, 0.0);
     let mut row = 0usize;
     for c in 0..geom.in_c() {
-        let plane = &src[c * geom.in_h() * geom.in_w()..];
+        let plane = &src[c * in_h * in_w..(c + 1) * in_h * in_w];
         for ky in 0..geom.kernel_h() {
             for kx in 0..geom.kernel_w() {
                 let out_row = &mut out[row * cols..(row + 1) * cols];
-                let mut col = 0usize;
-                for oy in 0..geom.out_h() {
-                    let y = (oy * geom.stride() + ky) as isize - geom.pad() as isize;
-                    for ox in 0..geom.out_w() {
-                        let x = (ox * geom.stride() + kx) as isize - geom.pad() as isize;
-                        if y >= 0 && y < in_h && x >= 0 && x < in_w {
-                            out_row[col] = plane[y as usize * geom.in_w() + x as usize];
-                        }
-                        col += 1;
+                for oy in 0..out_h {
+                    let y = (oy * stride + ky) as isize - pad as isize;
+                    let dst = &mut out_row[oy * out_w..(oy + 1) * out_w];
+                    if y < 0 || y as usize >= in_h {
+                        dst.fill(0.0);
+                        continue;
                     }
+                    let src_row = &plane[y as usize * in_w..(y as usize + 1) * in_w];
+                    // In-bounds ox range: 0 ≤ ox·stride + kx − pad < in_w.
+                    let ox_lo = pad.saturating_sub(kx).div_ceil(stride).min(out_w);
+                    let ox_hi = if in_w + pad > kx {
+                        ((in_w + pad - kx - 1) / stride + 1).clamp(ox_lo, out_w)
+                    } else {
+                        ox_lo
+                    };
+                    dst[..ox_lo].fill(0.0);
+                    if ox_hi > ox_lo {
+                        // Non-empty span ⇒ ox_lo·stride + kx ≥ pad, so the
+                        // tap offsets below cannot underflow.
+                        if stride == 1 {
+                            // Contiguous: taps advance with ox one-to-one.
+                            let x0 = ox_lo + kx - pad;
+                            dst[ox_lo..ox_hi].copy_from_slice(&src_row[x0..x0 + (ox_hi - ox_lo)]);
+                        } else {
+                            for (ox, slot) in dst[ox_lo..ox_hi].iter_mut().enumerate() {
+                                *slot = src_row[(ox_lo + ox) * stride + kx - pad];
+                            }
+                        }
+                    }
+                    dst[ox_hi..].fill(0.0);
                 }
                 row += 1;
             }
@@ -371,23 +394,47 @@ pub fn im2col_into(input: &Tensor, geom: &ConvGeom, out: &mut Vec<f32>) -> Resul
 /// Returns [`TensorError::ShapeMismatch`] if `cols` is not the
 /// `(patch_len × out_positions)` matrix implied by `geom`.
 pub fn col2im(cols: &Tensor, geom: &ConvGeom) -> Result<Tensor, TensorError> {
+    let mut out = Vec::new();
+    col2im_into(cols.as_slice(), cols.dims(), geom, &mut out)?;
+    Tensor::from_vec(out, &[geom.in_c(), geom.in_h(), geom.in_w()])
+}
+
+/// Allocation-free variant of [`col2im`]: scatters into a caller-owned
+/// buffer held in a workspace arena, so a training loop's backward pass
+/// reaches a steady state with zero per-call heap allocations for the
+/// scatter target. `out` is resized to `C·H·W` and fully re-zeroed before
+/// accumulation (the scatter adds overlapping contributions).
+///
+/// `cols` is the raw `(patch_len × out_positions)` gradient matrix with
+/// `cols_dims` stating its logical shape.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `cols_dims` is not the
+/// `(patch_len × out_positions)` shape implied by `geom`.
+pub fn col2im_into(
+    cols: &[f32],
+    cols_dims: &[usize],
+    geom: &ConvGeom,
+    out: &mut Vec<f32>,
+) -> Result<(), TensorError> {
     let expected = [geom.patch_len(), geom.out_positions()];
-    if cols.dims() != expected {
+    if cols_dims != expected {
         return Err(TensorError::ShapeMismatch {
-            left: cols.dims().to_vec(),
+            left: cols_dims.to_vec(),
             right: expected.to_vec(),
         });
     }
-    let src = cols.as_slice();
     let (in_h, in_w) = (geom.in_h() as isize, geom.in_w() as isize);
     let n_cols = geom.out_positions();
-    let mut out = vec![0.0f32; geom.in_c() * geom.in_h() * geom.in_w()];
+    out.resize(geom.in_c() * geom.in_h() * geom.in_w(), 0.0);
+    out.fill(0.0);
     let mut row = 0usize;
     for c in 0..geom.in_c() {
         let plane_base = c * geom.in_h() * geom.in_w();
         for ky in 0..geom.kernel_h() {
             for kx in 0..geom.kernel_w() {
-                let src_row = &src[row * n_cols..(row + 1) * n_cols];
+                let src_row = &cols[row * n_cols..(row + 1) * n_cols];
                 let mut col = 0usize;
                 for oy in 0..geom.out_h() {
                     let y = (oy * geom.stride() + ky) as isize - geom.pad() as isize;
@@ -403,7 +450,7 @@ pub fn col2im(cols: &Tensor, geom: &ConvGeom) -> Result<Tensor, TensorError> {
             }
         }
     }
-    Tensor::from_vec(out, &[geom.in_c(), geom.in_h(), geom.in_w()])
+    Ok(())
 }
 
 #[cfg(test)]
@@ -515,6 +562,96 @@ mod tests {
             .map(|(a, b)| a * b)
             .sum();
         assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    /// The obvious per-element gather, kept as the oracle for the
+    /// span-optimized `im2col_into` rewrite.
+    fn im2col_naive(input: &Tensor, geom: &ConvGeom) -> Vec<f32> {
+        let src = input.as_slice();
+        let (in_h, in_w) = (geom.in_h() as isize, geom.in_w() as isize);
+        let mut out = vec![0.0f32; geom.patch_len() * geom.out_positions()];
+        let mut row = 0usize;
+        for c in 0..geom.in_c() {
+            let plane = &src[c * geom.in_h() * geom.in_w()..];
+            for ky in 0..geom.kernel_h() {
+                for kx in 0..geom.kernel_w() {
+                    for oy in 0..geom.out_h() {
+                        for ox in 0..geom.out_w() {
+                            let y = (oy * geom.stride() + ky) as isize - geom.pad() as isize;
+                            let x = (ox * geom.stride() + kx) as isize - geom.pad() as isize;
+                            if y >= 0 && y < in_h && x >= 0 && x < in_w {
+                                out[row * geom.out_positions() + oy * geom.out_w() + ox] =
+                                    plane[y as usize * geom.in_w() + x as usize];
+                            }
+                        }
+                    }
+                    row += 1;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn im2col_matches_naive_across_edge_geometries() {
+        let mut rng = crate::Rng::seed_from(23);
+        // (c, h, w, kh, kw, stride, pad): stride/pad edges, non-square
+        // kernels, a kernel wider than the input (all-pad rows), and the
+        // GoogLeNet conv1 class 7×7/2 pad 3.
+        for &(c, h, w, kh, kw, s, p) in &[
+            (2usize, 5usize, 5usize, 3usize, 3usize, 1usize, 1usize),
+            (3, 8, 6, 3, 3, 2, 0),
+            (1, 7, 7, 5, 5, 3, 2),
+            (2, 4, 4, 1, 1, 1, 0),
+            (1, 1, 1, 7, 7, 1, 3),
+            (1, 3, 1, 3, 7, 1, 3),
+            (3, 11, 9, 7, 7, 2, 3),
+            (2, 6, 6, 2, 3, 2, 1),
+        ] {
+            let geom = ConvGeom::new(c, h, w, kh, kw, s, p).unwrap();
+            let input = Tensor::uniform(&[c, h, w], -1.0, 1.0, &mut rng);
+            let mut got = Vec::new();
+            im2col_into(&input, &geom, &mut got).unwrap();
+            assert_eq!(got, im2col_naive(&input, &geom), "{geom}");
+        }
+    }
+
+    #[test]
+    fn im2col_buffer_shrinks_and_regrows_correctly() {
+        // A buffer left over from a larger layer must not leak stale values
+        // into a smaller lowering (the rewrite resizes instead of clearing).
+        let mut rng = crate::Rng::seed_from(29);
+        let big = Tensor::uniform(&[3, 8, 8], -1.0, 1.0, &mut rng);
+        let big_geom = ConvGeom::new(3, 8, 8, 3, 3, 1, 1).unwrap();
+        let small = Tensor::uniform(&[1, 4, 4], -1.0, 1.0, &mut rng);
+        let small_geom = ConvGeom::new(1, 4, 4, 3, 3, 1, 1).unwrap();
+        let mut buf = Vec::new();
+        im2col_into(&big, &big_geom, &mut buf).unwrap();
+        im2col_into(&small, &small_geom, &mut buf).unwrap();
+        assert_eq!(buf, im2col_naive(&small, &small_geom));
+        im2col_into(&big, &big_geom, &mut buf).unwrap();
+        assert_eq!(buf, im2col_naive(&big, &big_geom));
+    }
+
+    #[test]
+    fn col2im_into_reuses_buffer_and_rezeroes() {
+        let mut rng = crate::Rng::seed_from(31);
+        let g = ConvGeom::new(2, 4, 4, 3, 3, 2, 1).unwrap();
+        let y = Tensor::uniform(&[g.patch_len(), g.out_positions()], -1.0, 1.0, &mut rng);
+        let want = col2im(&y, &g).unwrap();
+        let mut buf = vec![7.0f32; 256];
+        col2im_into(y.as_slice(), y.dims(), &g, &mut buf).unwrap();
+        assert_eq!(buf.as_slice(), want.as_slice());
+        // Second call through the same arena accumulates from zero again.
+        col2im_into(y.as_slice(), y.dims(), &g, &mut buf).unwrap();
+        assert_eq!(buf.as_slice(), want.as_slice());
+    }
+
+    #[test]
+    fn col2im_into_rejects_wrong_shape() {
+        let g = ConvGeom::new(2, 4, 4, 3, 3, 1, 1).unwrap();
+        let mut buf = Vec::new();
+        assert!(col2im_into(&[0.0; 4], &[2, 2], &g, &mut buf).is_err());
     }
 
     #[test]

@@ -1,8 +1,9 @@
-//! Packed, cache-blocked, multi-threaded GEMM engine.
+//! Packed, cache-blocked, multi-threaded GEMM engine with SIMD microkernels
+//! and an implicit-GEMM convolution front end.
 //!
-//! Convolutions lower onto matrix products via `im2col`, so this one kernel
-//! carries essentially all the arithmetic of the digital reference path and
-//! of the functional analog executor. It follows the classic BLIS/GotoBLAS
+//! Convolutions lower onto matrix products, so this one kernel carries
+//! essentially all the arithmetic of the digital reference path and of the
+//! functional analog executor. It follows the classic BLIS/GotoBLAS
 //! decomposition, in safe Rust:
 //!
 //! - The operand matrices are tiled into `MC×KC` blocks of A and `KC×NC`
@@ -15,8 +16,11 @@
 //!   is absorbed by the gather in the pack step and the inner loops never
 //!   see it.
 //! - An `MR×NR` register microkernel with fixed-size array accumulators
-//!   does the arithmetic; the fixed extents let the compiler keep the
-//!   accumulator tile in vector registers and unroll the update.
+//!   does the arithmetic. Three variants exist — portable, AVX2, AVX-512 —
+//!   selected by a [`SimdLevel`]; the vector kernels are lane-parallel over
+//!   `NR` with *separate* multiply and add instructions (no FMA
+//!   contraction), so all three accumulate every output element in the
+//!   exact scalar `k`-order and are bit-identical (see [`crate::simd`]).
 //! - When a thread budget is given and the product is large enough to
 //!   amortize spawning, output row bands are computed in parallel with
 //!   scoped threads. Workers share the packed B panel read-only and each
@@ -25,7 +29,29 @@
 //!
 //! Results are bit-identical across thread counts: every output element is
 //! accumulated by exactly one worker in the same `KC`-block order.
+//!
+//! # Implicit-GEMM convolution
+//!
+//! Convolution does not need a materialized `im2col` matrix: the only
+//! consumer of that matrix is the B-panel packer, which immediately
+//! re-copies it into `KC×NR` panels. [`conv_gemm_into`] and
+//! [`conv_gemm_packed_into`] instead pack those panels *directly from the
+//! `C×H×W` input tensor* — the packer walks the receptive-field taps that
+//! `im2col` would have written, emitting zeros for padding taps — which
+//! deletes a full write+read pass over the patch matrix and shrinks the
+//! conv workspace by `patch_len × out_positions` floats. Because the packed
+//! panel bytes are identical to packing an explicit `im2col` matrix, and
+//! blocking and microkernel are shared, the implicit path is bit-identical
+//! to the `im2col` + [`gemm_into`] oracle at every geometry, level, and
+//! thread count.
+//!
+//! [`PackedWeights`] completes the picture for inference engines that run
+//! the same filters every frame: the A-side (weight) packing is hoisted
+//! out of the per-frame loop entirely and shared read-only across threads
+//! and frames, byte-identical to on-the-fly packing by layout construction.
 
+use crate::conv::ConvGeom;
+use crate::simd::SimdLevel;
 use crate::workspace::{PackBuffers, Workspace};
 use crate::{Tensor, TensorError};
 
@@ -129,11 +155,155 @@ fn pack_b_panel(
     }
 }
 
-/// The register microkernel: one `MR×NR` accumulator tile over a shared
-/// inner extent. `apanel` is `kc` steps of `MR` packed A values, `bpanel`
-/// `kc` steps of `NR` packed B values; the fixed-size accumulator array and
-/// `chunks_exact` iteration make the loop body branch- and bounds-check
-/// free, which is what lets the compiler vectorize it.
+/// Packs the `kc×nc` panel of the *virtual* `im2col` matrix of `src`
+/// (`C×H×W`, per `geom`) starting at (`pc`, `jc`) — the implicit-GEMM
+/// gather. Produces bytes identical to running [`pack_b_panel`] over an
+/// explicit `im2col` matrix: patch row `pc + p` decodes to a channel/tap
+/// `(ch, ky, kx)`, column `jc + col` decodes to an output position
+/// `(oy, ox)`, and the packed value is the input pixel under that tap, or
+/// `0.0` when the tap falls in the padding border.
+#[allow(clippy::too_many_arguments)]
+fn pack_b_conv_panel(
+    src: &[f32],
+    geom: &ConvGeom,
+    jc: usize,
+    nc: usize,
+    pc: usize,
+    kc: usize,
+    dst: &mut [f32],
+) {
+    let (in_h, in_w) = (geom.in_h(), geom.in_w());
+    let (kh, kw) = (geom.kernel_h(), geom.kernel_w());
+    let (stride, pad) = (geom.stride(), geom.pad());
+    let out_w = geom.out_w();
+    let panels = nc.div_ceil(NR);
+    for pi in 0..panels {
+        let panel = &mut dst[pi * NR * kc..(pi + 1) * NR * kc];
+        // Real (non-pad-past-nc) columns of this panel and their first
+        // output position; `oy`/`ox` then advance incrementally.
+        let cols = NR.min(nc.saturating_sub(pi * NR));
+        let j0 = jc + pi * NR;
+        for p in 0..kc {
+            let pr = pc + p;
+            let (ch, tap) = (pr / (kh * kw), pr % (kh * kw));
+            let (ky, kx) = (tap / kw, tap % kw);
+            let plane = &src[ch * in_h * in_w..(ch + 1) * in_h * in_w];
+            let (mut oy, mut ox) = (j0 / out_w, j0 % out_w);
+            let step = &mut panel[p * NR..(p + 1) * NR];
+            for (c, slot) in step.iter_mut().enumerate() {
+                *slot = if c < cols {
+                    let y = (oy * stride + ky) as isize - pad as isize;
+                    let x = (ox * stride + kx) as isize - pad as isize;
+                    ox += 1;
+                    if ox == out_w {
+                        ox = 0;
+                        oy += 1;
+                    }
+                    if y >= 0 && (y as usize) < in_h && x >= 0 && (x as usize) < in_w {
+                        plane[y as usize * in_w + x as usize]
+                    } else {
+                        0.0
+                    }
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+/// Filter weights pre-packed into the engine's A-panel layout, built once
+/// and shared read-only across frames and worker threads.
+///
+/// The layout is `KC`-block major: block `bi` holds all `⌈m/MR⌉` MR-row
+/// panels for inner columns `[bi·KC, bi·KC + kc)`, exactly the bytes
+/// [`pack_a_block`] would produce for those coordinates (rows past `m`
+/// zero-padded). Band/`MC` sub-blocking never changes panel contents —
+/// band boundaries are MR-aligned — so a GEMM reading these panels is
+/// bit-identical to one packing A on the fly.
+#[derive(Debug, Clone)]
+pub struct PackedWeights {
+    data: Vec<f32>,
+    m: usize,
+    k: usize,
+}
+
+impl PackedWeights {
+    /// Packs an `m×k` row-major weight matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != m·k`.
+    pub fn pack(a: &[f32], m: usize, k: usize) -> Self {
+        assert_eq!(a.len(), m * k, "weights length vs {m}x{k}");
+        let panels = m.div_ceil(MR);
+        let mut data = Vec::new();
+        let mut pc = 0usize;
+        while pc < k {
+            let kc = KC.min(k - pc);
+            let start = data.len();
+            data.resize(start + panels * MR * kc, 0.0);
+            pack_a_block(a, false, m, k, 0, m, pc, kc, &mut data[start..]);
+            pc += kc;
+        }
+        PackedWeights { data, m, k }
+    }
+
+    /// Output-row count (filters).
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Inner extent (patch length).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Heap bytes held by the packed panels.
+    pub fn bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<f32>()
+    }
+
+    /// The packed panels for inner block (`pc`, `kc`) from row `row0` on.
+    ///
+    /// `row0` must be MR-aligned and `pc` KC-aligned — both invariants the
+    /// blocked driver maintains — so the slice starts exactly at a panel
+    /// boundary of the stored layout.
+    fn block_panels(&self, row0: usize, pc: usize, kc: usize) -> &[f32] {
+        debug_assert_eq!(row0 % MR, 0);
+        debug_assert_eq!(pc % KC, 0);
+        let panels = self.m.div_ceil(MR);
+        // Every block before the last has kc == KC, so block offsets are
+        // uniform; only the final block is shorter.
+        let block_off = (pc / KC) * panels * MR * KC;
+        let start = block_off + (row0 / MR) * MR * kc;
+        &self.data[start..block_off + panels * MR * kc]
+    }
+}
+
+/// The A operand of a blocked product: a raw matrix packed on the fly per
+/// block, or pre-packed panels shared read-only.
+#[derive(Clone, Copy)]
+enum ASrc<'a> {
+    Mat { a: &'a [f32], trans: bool },
+    Packed(&'a PackedWeights),
+}
+
+/// The B operand: a raw matrix (with optional transpose) or the virtual
+/// `im2col` matrix of a `C×H×W` input gathered implicitly.
+#[derive(Clone, Copy)]
+enum BSrc<'a> {
+    Mat { b: &'a [f32], trans: bool },
+    Conv { src: &'a [f32], geom: &'a ConvGeom },
+}
+
+/// The portable register microkernel: one `MR×NR` accumulator tile over a
+/// shared inner extent. `apanel` is `kc` steps of `MR` packed A values,
+/// `bpanel` `kc` steps of `NR` packed B values; the fixed-size accumulator
+/// array and `as_chunks` iteration make the loop body branch- and
+/// bounds-check free. Its per-element semantics — `acc[c] += a * b[c]`, two
+/// roundings per step, `k`-sequential — are the contract the vector
+/// kernels below reproduce exactly.
 #[inline(always)]
 fn fma_row(acc: &mut [f32; NR], a: f32, b: &[f32; NR]) {
     for c in 0..NR {
@@ -142,7 +312,7 @@ fn fma_row(acc: &mut [f32; NR], a: f32, b: &[f32; NR]) {
 }
 
 #[inline(always)]
-fn microkernel(apanel: &[f32], bpanel: &[f32]) -> [[f32; NR]; MR] {
+fn microkernel_portable(apanel: &[f32], bpanel: &[f32]) -> [[f32; NR]; MR] {
     let mut r0 = [0.0f32; NR];
     let mut r1 = [0.0f32; NR];
     let mut r2 = [0.0f32; NR];
@@ -166,15 +336,187 @@ fn microkernel(apanel: &[f32], bpanel: &[f32]) -> [[f32; NR]; MR] {
     [r0, r1, r2, r3, r4, r5, r6, r7]
 }
 
+#[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+mod avx2 {
+    //! The AVX2 mul+add register microkernel.
+    //!
+    //! Everything here uses the *safe* `#[target_feature]` intrinsics of
+    //! Rust ≥ 1.87: no raw pointer ever appears. Vector loads are
+    //! assembled with `_mm256_set_ps` from bounds-checked slices (LLVM
+    //! folds the lane construction into a single 32-byte load) and stores
+    //! go through per-lane extracts, which fold likewise.
+    //!
+    //! The `8×16` tile needs 16 ymm accumulators — the whole AVX2 register
+    //! file — so the kernel runs two passes of four rows each. Rows
+    //! accumulate independently, so splitting the row loop leaves every
+    //! output element's `k`-order untouched and the result stays
+    //! bit-identical to the portable kernel.
+
+    use super::{MR, NR};
+    use core::arch::x86_64::{
+        __m256, _mm256_add_ps, _mm256_castps_si256, _mm256_extract_epi32, _mm256_mul_ps,
+        _mm256_set1_ps, _mm256_set_ps, _mm256_setzero_ps,
+    };
+
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    fn load_ymm(w: &[f32; 8]) -> __m256 {
+        _mm256_set_ps(w[7], w[6], w[5], w[4], w[3], w[2], w[1], w[0])
+    }
+
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    fn store_ymm(v: __m256, out: &mut [f32; 8]) {
+        let vi = _mm256_castps_si256(v);
+        out[0] = f32::from_bits(_mm256_extract_epi32::<0>(vi) as u32);
+        out[1] = f32::from_bits(_mm256_extract_epi32::<1>(vi) as u32);
+        out[2] = f32::from_bits(_mm256_extract_epi32::<2>(vi) as u32);
+        out[3] = f32::from_bits(_mm256_extract_epi32::<3>(vi) as u32);
+        out[4] = f32::from_bits(_mm256_extract_epi32::<4>(vi) as u32);
+        out[5] = f32::from_bits(_mm256_extract_epi32::<5>(vi) as u32);
+        out[6] = f32::from_bits(_mm256_extract_epi32::<6>(vi) as u32);
+        out[7] = f32::from_bits(_mm256_extract_epi32::<7>(vi) as u32);
+    }
+
+    /// Two half-tiles of `4×NR`: per step, broadcast one A value per row
+    /// and issue separate `vmulps`/`vaddps` against the two 8-lane B
+    /// halves — never `vfmadd`, preserving the scalar two-roundings-per-
+    /// step semantics.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    pub(super) fn microkernel(apanel: &[f32], bpanel: &[f32], out: &mut [[f32; NR]; MR]) {
+        let (asteps, _) = apanel.as_chunks::<MR>();
+        let (bsteps, _) = bpanel.as_chunks::<NR>();
+        for half in 0..2 {
+            let r0 = half * 4;
+            let mut acc = [[_mm256_setzero_ps(); 2]; 4];
+            for (ap, bp) in asteps.iter().zip(bsteps.iter()) {
+                let b0 = load_ymm(bp[0..8].try_into().expect("8-lane half"));
+                let b1 = load_ymm(bp[8..16].try_into().expect("8-lane half"));
+                for (r, acc_r) in acc.iter_mut().enumerate() {
+                    let a = _mm256_set1_ps(ap[r0 + r]);
+                    acc_r[0] = _mm256_add_ps(acc_r[0], _mm256_mul_ps(a, b0));
+                    acc_r[1] = _mm256_add_ps(acc_r[1], _mm256_mul_ps(a, b1));
+                }
+            }
+            for (r, acc_r) in acc.iter().enumerate() {
+                let out_r = &mut out[r0 + r];
+                store_ymm(acc_r[0], (&mut out_r[0..8]).try_into().expect("half"));
+                store_ymm(acc_r[1], (&mut out_r[8..16]).try_into().expect("half"));
+            }
+        }
+    }
+}
+
+#[cfg(all(target_arch = "x86_64", target_feature = "avx512f"))]
+mod avx512 {
+    //! The AVX-512 mul+add register microkernel: the full `8×16` tile in
+    //! eight zmm accumulators, one 16-lane B vector per step. Same safe
+    //! `#[target_feature]` intrinsics discipline as the AVX2 kernel; f32
+    //! lanes are stored through integer extracts (`castps` + epi32
+    //! extract + `from_bits`) because no direct f32 lane extract exists.
+
+    use super::{MR, NR};
+    use core::arch::x86_64::{
+        __m256i, __m512, _mm256_extract_epi32, _mm512_add_ps, _mm512_castps_si512,
+        _mm512_extracti64x4_epi64, _mm512_mul_ps, _mm512_set1_ps, _mm512_set_ps, _mm512_setzero_ps,
+    };
+
+    #[target_feature(enable = "avx512f")]
+    #[inline]
+    fn load_zmm(w: &[f32; 16]) -> __m512 {
+        _mm512_set_ps(
+            w[15], w[14], w[13], w[12], w[11], w[10], w[9], w[8], w[7], w[6], w[5], w[4], w[3],
+            w[2], w[1], w[0],
+        )
+    }
+
+    #[target_feature(enable = "avx512f")]
+    #[inline]
+    fn store_zmm(v: __m512, out: &mut [f32; 16]) {
+        let vi = _mm512_castps_si512(v);
+        let lo: __m256i = _mm512_extracti64x4_epi64::<0>(vi);
+        let hi: __m256i = _mm512_extracti64x4_epi64::<1>(vi);
+        out[0] = f32::from_bits(_mm256_extract_epi32::<0>(lo) as u32);
+        out[1] = f32::from_bits(_mm256_extract_epi32::<1>(lo) as u32);
+        out[2] = f32::from_bits(_mm256_extract_epi32::<2>(lo) as u32);
+        out[3] = f32::from_bits(_mm256_extract_epi32::<3>(lo) as u32);
+        out[4] = f32::from_bits(_mm256_extract_epi32::<4>(lo) as u32);
+        out[5] = f32::from_bits(_mm256_extract_epi32::<5>(lo) as u32);
+        out[6] = f32::from_bits(_mm256_extract_epi32::<6>(lo) as u32);
+        out[7] = f32::from_bits(_mm256_extract_epi32::<7>(lo) as u32);
+        out[8] = f32::from_bits(_mm256_extract_epi32::<0>(hi) as u32);
+        out[9] = f32::from_bits(_mm256_extract_epi32::<1>(hi) as u32);
+        out[10] = f32::from_bits(_mm256_extract_epi32::<2>(hi) as u32);
+        out[11] = f32::from_bits(_mm256_extract_epi32::<3>(hi) as u32);
+        out[12] = f32::from_bits(_mm256_extract_epi32::<4>(hi) as u32);
+        out[13] = f32::from_bits(_mm256_extract_epi32::<5>(hi) as u32);
+        out[14] = f32::from_bits(_mm256_extract_epi32::<6>(hi) as u32);
+        out[15] = f32::from_bits(_mm256_extract_epi32::<7>(hi) as u32);
+    }
+
+    /// Per step: one 64-byte B load, eight broadcasts, eight separate
+    /// `vmulps`+`vaddps` pairs — the exact instruction shape the scalar
+    /// kernel's semantics require (no FMA contraction).
+    #[target_feature(enable = "avx512f")]
+    #[inline]
+    pub(super) fn microkernel(apanel: &[f32], bpanel: &[f32], out: &mut [[f32; NR]; MR]) {
+        let mut acc = [_mm512_setzero_ps(); MR];
+        let (asteps, _) = apanel.as_chunks::<MR>();
+        let (bsteps, _) = bpanel.as_chunks::<NR>();
+        for (ap, bp) in asteps.iter().zip(bsteps.iter()) {
+            let b = load_zmm(bp);
+            for (r, acc_r) in acc.iter_mut().enumerate() {
+                let a = _mm512_set1_ps(ap[r]);
+                *acc_r = _mm512_add_ps(*acc_r, _mm512_mul_ps(a, b));
+            }
+        }
+        for (acc_r, out_r) in acc.iter().zip(out.iter_mut()) {
+            store_zmm(*acc_r, out_r);
+        }
+    }
+}
+
+/// Runs one `MR×NR` tile at the requested [`SimdLevel`]. Levels the build
+/// does not carry fall through to the next narrower compiled kernel; all
+/// levels produce bit-identical tiles, so the fallback is a pure
+/// performance matter.
+#[inline(always)]
+fn microkernel(level: SimdLevel, apanel: &[f32], bpanel: &[f32]) -> [[f32; NR]; MR] {
+    #[cfg(all(target_arch = "x86_64", target_feature = "avx512f"))]
+    #[allow(unsafe_code)]
+    if level == SimdLevel::Avx512 {
+        let mut out = [[0.0f32; NR]; MR];
+        // SAFETY: this arm only compiles when the build configuration
+        // statically enables avx512f (see the cfg gate), so the ISA is
+        // guaranteed present on every machine the binary targets; the
+        // callee touches memory only through safe bounds-checked slices.
+        unsafe { avx512::microkernel(apanel, bpanel, &mut out) };
+        return out;
+    }
+    #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+    #[allow(unsafe_code)]
+    if level >= SimdLevel::Avx2 {
+        let mut out = [[0.0f32; NR]; MR];
+        // SAFETY: as above — avx2 is statically enabled whenever this arm
+        // compiles, and the callee uses only bounds-checked slices.
+        unsafe { avx2::microkernel(apanel, bpanel, &mut out) };
+        return out;
+    }
+    let _ = level;
+    microkernel_portable(apanel, bpanel)
+}
+
 /// Computes one output row band (`band_m` rows starting at global row
-/// `row0`) against the shared packed B panel, packing A blocks into the
-/// worker-private `apack` scratch. `out_band` is the band's row-major slice
-/// of the full output (width `n`); contributions are accumulated so the
-/// `KC`-blocked outer loop can sum partial products.
+/// `row0`) against the shared packed B panel. Raw-matrix A blocks are
+/// packed into the worker-private `apack` scratch; pre-packed A serves
+/// panels straight from its shared buffer. `out_band` is the band's
+/// row-major slice of the full output (width `n`); contributions are
+/// accumulated so the `KC`-blocked outer loop can sum partial products.
 #[allow(clippy::too_many_arguments)]
 fn compute_band(
-    a: &[f32],
-    trans_a: bool,
+    level: SimdLevel,
+    asrc: ASrc<'_>,
     m: usize,
     k: usize,
     n: usize,
@@ -192,16 +534,25 @@ fn compute_band(
     let mut ic = 0usize;
     while ic < band_m {
         let mc = MC.min(band_m - ic);
-        pack_a_block(a, trans_a, m, k, row0 + ic, mc, pc, kc, apack);
+        let ablock: &[f32] = match asrc {
+            ASrc::Mat { a, trans } => {
+                pack_a_block(a, trans, m, k, row0 + ic, mc, pc, kc, apack);
+                apack
+            }
+            // Band and MC boundaries are MR-aligned, so the pre-packed
+            // panels for these rows are bit-identical to what
+            // pack_a_block would have produced (see PackedWeights).
+            ASrc::Packed(pw) => pw.block_panels(row0 + ic, pc, kc),
+        };
         let row_panels = mc.div_ceil(MR);
         // Col-panel outer / row-panel inner keeps the `KC×NR` B slice hot in
         // L1 while successive A panels stream from the packed L2 block.
         for pj in 0..col_panels {
             let bpanel = &bpack[pj * NR * kc..][..NR * kc];
             for pi in 0..row_panels {
-                let apanel = &apack[pi * MR * kc..][..MR * kc];
+                let apanel = &ablock[pi * MR * kc..][..MR * kc];
                 let rows = MR.min(mc - pi * MR);
-                let acc = microkernel(apanel, bpanel);
+                let acc = microkernel(level, apanel, bpanel);
                 let cols = NR.min(nc - pj * NR);
                 for (r, acc_row) in acc.iter().enumerate().take(rows) {
                     let base = (ic + pi * MR + r) * n + jc + pj * NR;
@@ -215,38 +566,26 @@ fn compute_band(
     }
 }
 
-/// Computes `out = op(A) · op(B)` over raw row-major slices.
-///
-/// `op(X)` is `X` or `Xᵀ` per the transpose flags; `m`, `n`, `k` are the
-/// *logical* dimensions of the product (`op(A)` is `m×k`, `op(B)` is `k×n`).
-/// `out` is fully overwritten. Packing scratch comes from `packs` and is
-/// only ever grown, so steady-state calls at a fixed shape allocate
-/// nothing. `threads` bounds worker parallelism over output row bands;
-/// small products ignore it and run serially.
-///
-/// # Panics
-///
-/// Panics if a slice length disagrees with the stated dimensions.
+/// The shared blocked driver behind every public entry point: packs B
+/// panels (explicit matrix or implicit conv gather), then computes output
+/// row bands serially or across scoped worker threads.
 #[allow(clippy::too_many_arguments)]
-pub fn gemm_into(
+fn gemm_driver(
     packs: &mut PackBuffers,
-    trans_a: bool,
-    trans_b: bool,
-    a: &[f32],
-    b: &[f32],
+    level: SimdLevel,
+    asrc: ASrc<'_>,
+    bsrc: BSrc<'_>,
     out: &mut [f32],
     m: usize,
     n: usize,
     k: usize,
     threads: usize,
 ) {
-    assert_eq!(a.len(), m * k, "operand A length vs {m}x{k}");
-    assert_eq!(b.len(), k * n, "operand B length vs {k}x{n}");
-    assert_eq!(out.len(), m * n, "output length vs {m}x{n}");
     out.fill(0.0);
     if m == 0 || n == 0 || k == 0 {
         return;
     }
+    let level = level.clamp_available();
     let flops = 2usize.saturating_mul(m).saturating_mul(n).saturating_mul(k);
     let threads = if flops < PARALLEL_FLOP_THRESHOLD {
         1
@@ -261,10 +600,15 @@ pub fn gemm_into(
         while pc < k {
             let kc = KC.min(k - pc);
             let bpack = ensure_len(&mut packs.b, nc.div_ceil(NR) * NR * kc);
-            pack_b_panel(b, trans_b, n, k, jc, nc, pc, kc, bpack);
+            match bsrc {
+                BSrc::Mat { b, trans } => pack_b_panel(b, trans, n, k, jc, nc, pc, kc, bpack),
+                BSrc::Conv { src, geom } => pack_b_conv_panel(src, geom, jc, nc, pc, kc, bpack),
+            }
             if threads == 1 {
                 let apack = ensure_len(&mut packs.a, MC * KC);
-                compute_band(a, trans_a, m, k, n, bpack, apack, out, 0, m, jc, nc, pc, kc);
+                compute_band(
+                    level, asrc, m, k, n, bpack, apack, out, 0, m, jc, nc, pc, kc,
+                );
             } else {
                 // One MR-aligned row band per worker; each worker packs A
                 // into its private region and owns its band of `out`, so the
@@ -281,8 +625,8 @@ pub fn gemm_into(
                             scope.spawn(move |_| {
                                 let band_m = out_band.len() / n;
                                 compute_band(
-                                    a,
-                                    trans_a,
+                                    level,
+                                    asrc,
                                     m,
                                     k,
                                     n,
@@ -309,6 +653,175 @@ pub fn gemm_into(
         }
         jc += nc;
     }
+}
+
+/// Computes `out = op(A) · op(B)` over raw row-major slices.
+///
+/// `op(X)` is `X` or `Xᵀ` per the transpose flags; `m`, `n`, `k` are the
+/// *logical* dimensions of the product (`op(A)` is `m×k`, `op(B)` is `k×n`).
+/// `out` is fully overwritten. Packing scratch comes from `packs` and is
+/// only ever grown, so steady-state calls at a fixed shape allocate
+/// nothing. `threads` bounds worker parallelism over output row bands;
+/// small products ignore it and run serially. The microkernel runs at
+/// [`SimdLevel::auto`]; results are identical at every level.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with the stated dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_into(
+    packs: &mut PackBuffers,
+    trans_a: bool,
+    trans_b: bool,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    threads: usize,
+) {
+    gemm_into_level(
+        packs,
+        SimdLevel::auto(),
+        trans_a,
+        trans_b,
+        a,
+        b,
+        out,
+        m,
+        n,
+        k,
+        threads,
+    );
+}
+
+/// [`gemm_into`] with an explicit microkernel [`SimdLevel`] — the forced-
+/// dispatch entry point used by equivalence tests and benchmarks (and by
+/// the executor's `simd` knob). Levels beyond what the build carries are
+/// clamped down; the result is bit-identical at every level regardless.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with the stated dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_into_level(
+    packs: &mut PackBuffers,
+    level: SimdLevel,
+    trans_a: bool,
+    trans_b: bool,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    threads: usize,
+) {
+    assert_eq!(a.len(), m * k, "operand A length vs {m}x{k}");
+    assert_eq!(b.len(), k * n, "operand B length vs {k}x{n}");
+    assert_eq!(out.len(), m * n, "output length vs {m}x{n}");
+    gemm_driver(
+        packs,
+        level,
+        ASrc::Mat { a, trans: trans_a },
+        BSrc::Mat { b, trans: trans_b },
+        out,
+        m,
+        n,
+        k,
+        threads,
+    );
+}
+
+/// Implicit-GEMM convolution: `out = W · im2col(input)` without ever
+/// materializing the `im2col` matrix — the B packer gathers receptive-field
+/// taps (zeros in the padding border) straight from the `C×H×W` input.
+///
+/// `weights` is the `(out_c × patch_len)` filter matrix, `input` the
+/// `C×H×W` tensor data per `geom`, `out` the `(out_c × out_positions)`
+/// result. Bit-identical to `im2col_into` + [`gemm_into`] at every
+/// geometry, level, and thread count.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with `geom`/`out_c`.
+#[allow(clippy::too_many_arguments)]
+pub fn conv_gemm_into(
+    packs: &mut PackBuffers,
+    level: SimdLevel,
+    weights: &[f32],
+    input: &[f32],
+    geom: &ConvGeom,
+    out: &mut [f32],
+    out_c: usize,
+    threads: usize,
+) {
+    let (k, n) = (geom.patch_len(), geom.out_positions());
+    assert_eq!(weights.len(), out_c * k, "weights length vs {out_c}x{k}");
+    assert_eq!(
+        input.len(),
+        geom.in_c() * geom.in_h() * geom.in_w(),
+        "input length vs conv geometry"
+    );
+    assert_eq!(out.len(), out_c * n, "output length vs {out_c}x{n}");
+    gemm_driver(
+        packs,
+        level,
+        ASrc::Mat {
+            a: weights,
+            trans: false,
+        },
+        BSrc::Conv { src: input, geom },
+        out,
+        out_c,
+        n,
+        k,
+        threads,
+    );
+}
+
+/// [`conv_gemm_into`] over weights pre-packed once with
+/// [`PackedWeights::pack`]: the per-frame A packing pass disappears and
+/// the packed panels are shared read-only across threads and frames.
+/// Bit-identical to the unpacked path by panel-layout construction.
+///
+/// # Panics
+///
+/// Panics if `input`/`out` lengths disagree with `geom`/`weights`, or if
+/// the packed inner extent does not match `geom.patch_len()`.
+pub fn conv_gemm_packed_into(
+    packs: &mut PackBuffers,
+    level: SimdLevel,
+    weights: &PackedWeights,
+    input: &[f32],
+    geom: &ConvGeom,
+    out: &mut [f32],
+    threads: usize,
+) {
+    let (m, k, n) = (weights.m(), geom.patch_len(), geom.out_positions());
+    assert_eq!(
+        weights.k(),
+        k,
+        "packed weights inner extent vs patch length"
+    );
+    assert_eq!(
+        input.len(),
+        geom.in_c() * geom.in_h() * geom.in_w(),
+        "input length vs conv geometry"
+    );
+    assert_eq!(out.len(), m * n, "output length vs {m}x{n}");
+    gemm_driver(
+        packs,
+        level,
+        ASrc::Packed(weights),
+        BSrc::Conv { src: input, geom },
+        out,
+        m,
+        n,
+        k,
+        threads,
+    );
 }
 
 /// Computes `op(A) · op(B)` over rank-2 tensors through the packed engine.
@@ -370,6 +883,7 @@ pub fn gemm(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::conv::im2col_into;
     use crate::linalg::matmul_naive;
     use crate::Rng;
 
@@ -436,6 +950,117 @@ mod tests {
             let parallel = gemm(&mut ws, false, false, &a, &b, threads).unwrap();
             assert_eq!(serial, parallel, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn every_simd_level_is_bit_identical() {
+        let mut packs = PackBuffers::new();
+        // Shapes straddling the microkernel edge cases, plus the 512-class
+        // size where vector/portable disagreement would surface first.
+        for &(m, k, n) in &[(1, 1, 1), (9, 33, 17), (70, 300, 129), (64, 512, 96)] {
+            let a = random(m, k, m as u64 + 40);
+            let b = random(k, n, n as u64 + 41);
+            let mut want = vec![0.0f32; m * n];
+            gemm_into_level(
+                &mut packs,
+                SimdLevel::Portable,
+                false,
+                false,
+                a.as_slice(),
+                b.as_slice(),
+                &mut want,
+                m,
+                n,
+                k,
+                1,
+            );
+            for level in SimdLevel::available_levels() {
+                for threads in [1usize, 3] {
+                    let mut got = vec![0.0f32; m * n];
+                    gemm_into_level(
+                        &mut packs,
+                        level,
+                        false,
+                        false,
+                        a.as_slice(),
+                        b.as_slice(),
+                        &mut got,
+                        m,
+                        n,
+                        k,
+                        threads,
+                    );
+                    assert!(
+                        got.iter()
+                            .zip(&want)
+                            .all(|(g, w)| g.to_bits() == w.to_bits()),
+                        "level {level} threads {threads} diverged at {m}x{k}x{n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn implicit_conv_matches_im2col_oracle_bitwise() {
+        // MicroNet-class geometry: 3×32×32, 3×3 stride 1 pad 1.
+        let geom = ConvGeom::new(3, 32, 32, 3, 3, 1, 1).unwrap();
+        let out_c = 8usize;
+        let mut rng = Rng::seed_from(77);
+        let input = Tensor::uniform(&[3, 32, 32], -1.0, 1.0, &mut rng);
+        let weights = Tensor::uniform(&[out_c, geom.patch_len()], -0.5, 0.5, &mut rng);
+        let (k, n) = (geom.patch_len(), geom.out_positions());
+
+        let mut packs = PackBuffers::new();
+        let mut cols = Vec::new();
+        im2col_into(&input, &geom, &mut cols).unwrap();
+        let mut want = vec![0.0f32; out_c * n];
+        gemm_into(
+            &mut packs,
+            false,
+            false,
+            weights.as_slice(),
+            &cols,
+            &mut want,
+            out_c,
+            n,
+            k,
+            1,
+        );
+
+        let mut got = vec![0.0f32; out_c * n];
+        conv_gemm_into(
+            &mut packs,
+            SimdLevel::auto(),
+            weights.as_slice(),
+            input.as_slice(),
+            &geom,
+            &mut got,
+            out_c,
+            1,
+        );
+        assert_eq!(got, want, "implicit conv diverged from im2col oracle");
+
+        let packed = PackedWeights::pack(weights.as_slice(), out_c, k);
+        let mut got_packed = vec![0.0f32; out_c * n];
+        conv_gemm_packed_into(
+            &mut packs,
+            SimdLevel::auto(),
+            &packed,
+            input.as_slice(),
+            &geom,
+            &mut got_packed,
+            1,
+        );
+        assert_eq!(got_packed, want, "pre-packed conv diverged from oracle");
+    }
+
+    #[test]
+    fn packed_weights_report_their_footprint() {
+        let w = PackedWeights::pack(&vec![1.0f32; 24 * 300], 24, 300);
+        assert_eq!((w.m(), w.k()), (24, 300));
+        // 24 rows → 3 MR-panels; 300 inner → blocks of 256 + 44.
+        assert!(w.bytes() >= 3 * MR * 300 * std::mem::size_of::<f32>());
     }
 
     #[test]

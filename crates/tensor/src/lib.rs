@@ -40,17 +40,21 @@ mod noise_stream;
 mod ops;
 mod rng;
 mod shape;
+mod simd;
 mod tensor;
 mod workspace;
 
-pub use conv::{col2im, im2col, im2col_into, ConvGeom, PoolGeom, RoundMode};
+pub use conv::{col2im, col2im_into, im2col, im2col_into, ConvGeom, PoolGeom, RoundMode};
 pub use error::TensorError;
-pub use gemm::{gemm, gemm_into};
+pub use gemm::{
+    conv_gemm_into, conv_gemm_packed_into, gemm, gemm_into, gemm_into_level, PackedWeights,
+};
 pub use gemm_i8::gemm_i8_into;
 pub use linalg::{matmul, matmul_naive, matmul_transpose_a, matmul_transpose_b};
 pub use noise_stream::{NoiseSource, NoiseStream, SiteRng};
 pub use rng::Rng;
 pub use shape::Shape;
+pub use simd::SimdLevel;
 pub use tensor::Tensor;
 pub use workspace::{PackBuffers, PackBuffersI8, Workspace, WorkspaceStats};
 

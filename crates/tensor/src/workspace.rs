@@ -65,6 +65,9 @@ pub struct Workspace {
     pub(crate) im2col: Vec<f32>,
     pub(crate) packs: PackBuffers,
     pub(crate) packs_i8: PackBuffersI8,
+    /// Backward-pass staging: the `Wᵀ·g` patch-gradient matrix that
+    /// `col2im` scatters back onto the input plane.
+    pub(crate) grad_cols: Vec<f32>,
 }
 
 /// Address/capacity snapshot of a workspace's buffers, used to verify
@@ -91,6 +94,10 @@ pub struct WorkspaceStats {
     pub pack_ib_ptr: usize,
     /// Capacity (elements) of the integer packed-B buffer.
     pub pack_ib_capacity: usize,
+    /// Base address of the backward patch-gradient buffer.
+    pub grad_cols_ptr: usize,
+    /// Capacity (elements) of the backward patch-gradient buffer.
+    pub grad_cols_capacity: usize,
 }
 
 impl Workspace {
@@ -132,6 +139,24 @@ impl Workspace {
         (&mut self.im2col, &mut self.packs, &mut self.packs_i8)
     }
 
+    /// Splits the arena for a conv backward pass: `im2col` staging (for the
+    /// weight-gradient lowering), the patch-gradient buffer (the `Wᵀ·g`
+    /// matrix that `col2im` scatters), and the GEMM pack scratch.
+    pub fn split_backward(&mut self) -> (&mut Vec<f32>, &mut Vec<f32>, &mut PackBuffers) {
+        (&mut self.im2col, &mut self.grad_cols, &mut self.packs)
+    }
+
+    /// Total heap bytes currently held by every arena in this workspace —
+    /// the peak staging footprint of the layers that ran through it (the
+    /// buffers only ever grow). The implicit-GEMM conv path shows up here
+    /// as an `im2col` capacity that simply never grows.
+    pub fn peak_bytes(&self) -> usize {
+        use std::mem::size_of;
+        (self.im2col.capacity() + self.grad_cols.capacity()) * size_of::<f32>()
+            + (self.packs.a.capacity() + self.packs.b.capacity()) * size_of::<f32>()
+            + (self.packs_i8.a.capacity() + self.packs_i8.b.capacity()) * size_of::<i32>()
+    }
+
     /// Snapshots buffer base addresses and capacities.
     ///
     /// Two equal snapshots around a call prove the call reallocated
@@ -148,6 +173,8 @@ impl Workspace {
             pack_ia_capacity: self.packs_i8.a.capacity(),
             pack_ib_ptr: self.packs_i8.b.as_ptr() as usize,
             pack_ib_capacity: self.packs_i8.b.capacity(),
+            grad_cols_ptr: self.grad_cols.as_ptr() as usize,
+            grad_cols_capacity: self.grad_cols.capacity(),
         }
     }
 }
@@ -179,5 +206,24 @@ mod tests {
         assert_eq!(ws.im2col.len(), 1);
         assert_eq!(ws.packs.a.len(), 1);
         assert_eq!(ws.packs.b.len(), 1);
+        let (cols, grad, packs) = ws.split_backward();
+        cols.push(4.0);
+        grad.push(5.0);
+        packs.a.push(6.0);
+        assert_eq!(ws.im2col.len(), 2);
+        assert_eq!(ws.grad_cols.len(), 1);
+        assert_eq!(ws.packs.a.len(), 2);
+    }
+
+    #[test]
+    fn peak_bytes_tracks_arena_capacities() {
+        let mut ws = Workspace::new();
+        assert_eq!(ws.peak_bytes(), 0);
+        ws.im2col.reserve_exact(256);
+        ws.grad_cols.reserve_exact(64);
+        ws.packs_i8.b.reserve_exact(32);
+        let floats = ws.im2col.capacity() + ws.grad_cols.capacity();
+        let ints = ws.packs_i8.b.capacity();
+        assert_eq!(ws.peak_bytes(), floats * 4 + ints * 4);
     }
 }
